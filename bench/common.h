@@ -1,0 +1,113 @@
+// Shared experiment plumbing for the figure/table benches.
+//
+// Every bench models the paper's §4 testbed: the peering routers of a
+// 13-cluster Tier-1 subset, 25 peer ASes at ~8 peering points each, and
+// a synthetic RIB calibrated to 10.2 best AS-level routes per peer
+// prefix. Absolute sizes are scaled (the paper used 315K peer prefixes;
+// we default to a few thousand — pass --prefixes=N to change), so
+// compare SHAPES against the paper, not absolute numbers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/testbed.h"
+#include "topo/topology.h"
+#include "trace/regenerator.h"
+#include "trace/update_trace.h"
+#include "trace/workload.h"
+
+namespace abrr::bench {
+
+struct ExperimentConfig {
+  std::size_t prefixes = 4000;
+  std::uint32_t pops = 13;  // the paper's 13-cluster testbed subset
+  std::uint32_t clients_per_pop = 8;
+  std::uint32_t peer_ases = 25;
+  std::uint32_t points_per_as = 8;
+  std::uint64_t seed = 42;
+  double trace_seconds = 120.0;       // compressed two-week update feed
+  double trace_events_per_second = 20.0;
+
+  static ExperimentConfig from_args(int argc, char** argv) {
+    ExperimentConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto num = [&](const char* key) -> const char* {
+        const std::size_t n = std::strlen(key);
+        return arg.rfind(key, 0) == 0 ? arg.c_str() + n : nullptr;
+      };
+      if (const char* v = num("--prefixes=")) {
+        cfg.prefixes = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = num("--seed=")) {
+        cfg.seed = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = num("--pops=")) {
+        cfg.pops = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      } else if (const char* v = num("--trace-seconds=")) {
+        cfg.trace_seconds = std::strtod(v, nullptr);
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf(
+            "flags: --prefixes=N --seed=N --pops=N --trace-seconds=S\n");
+        std::exit(0);
+      }
+    }
+    return cfg;
+  }
+};
+
+inline topo::Topology make_paper_topology(const ExperimentConfig& cfg,
+                                          sim::Rng& rng) {
+  topo::TopologyParams tp;
+  tp.pops = cfg.pops;
+  tp.clients_per_pop = cfg.clients_per_pop;
+  tp.peering_router_fraction = 1.0;  // §4: peering routers only
+  tp.peer_ases = cfg.peer_ases;
+  tp.peering_points_per_as = cfg.points_per_as;
+  tp.peering_skew = 0.8;  // gateway-PoP concentration (§4.1 variance)
+  return topo::make_tier1(tp, rng);
+}
+
+inline trace::Workload make_paper_workload(const ExperimentConfig& cfg,
+                                           const topo::Topology& topology,
+                                           sim::Rng& rng) {
+  trace::WorkloadParams wp;
+  wp.prefixes = cfg.prefixes;
+  return trace::Workload::generate(wp, topology, rng);
+}
+
+inline harness::TestbedOptions paper_options(ibgp::IbgpMode mode,
+                                             std::size_t num_aps,
+                                             std::uint64_t seed) {
+  harness::TestbedOptions o;
+  o.mode = mode;
+  o.num_aps = num_aps;
+  o.arrs_per_ap = 2;  // paper: 2 ARRs per AP, 2 TRRs per cluster
+  o.mrai = sim::sec(5);
+  o.proc_delay = sim::msec(50);
+  o.proc_per_update = sim::usec(20);
+  o.latency_jitter = sim::msec(20);
+  o.seed = seed;
+  return o;
+}
+
+/// Loads the snapshot paced over `seconds` of simulated time and runs to
+/// quiescence. Returns false on non-convergence.
+inline bool load_snapshot(harness::Testbed& bed,
+                          const trace::Workload& workload, double seconds) {
+  trace::RouteRegenerator regen{bed.scheduler(), workload, bed.inject_fn()};
+  regen.load_snapshot(0, sim::sec_f(seconds));
+  return bed.run_to_quiescence(500'000'000);
+}
+
+/// Measured average best-AS-level routes per prefix over all sources,
+/// for the Appendix A overlay.
+inline double measured_bal(const trace::Workload& workload,
+                           const topo::Topology& topology, sim::Rng& rng) {
+  return workload
+      .average_bal(topology, topology.peer_as_list.size(), rng)
+      .all_sources;
+}
+
+}  // namespace abrr::bench

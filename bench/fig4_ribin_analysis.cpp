@@ -1,0 +1,82 @@
+// Figure 4 (a-d): analytical RIB-In size of an ARR vs a TRR (single- and
+// multi-path), sweeping (a) #routers, (b) #APs/#Clusters, (c) #RRs per
+// AP/Cluster, (d) #peer ASes. Defaults per the paper: 2000 routers, 50
+// APs/clusters, 2 RRs each, 30 peer ASes, 400K prefixes.
+//
+// Expected shapes: ABRR roughly an order of magnitude below TBRR nearly
+// everywhere; (a) flat in #routers for all three; (b) ABRR's benefit
+// from more APs reaches diminishing returns (the client-role DFZ share
+// dominates); (c) only ABRR grows with redundancy; (d) all grow with
+// peer ASes through #BAL. TBRR and TBRR-multi coincide on RIB-In in
+// (a), (c), (d) and split in (b) once #BAL >= #Clusters caps G(.).
+#include <cstdio>
+
+#include "analysis/regression.h"
+#include "analysis/rib_model.h"
+
+namespace {
+
+using namespace abrr::analysis;
+
+constexpr double kPrefixes = 400'000;
+const BalModel kBal;  // paper-anchored F(#PASs)
+
+ModelParams base(double peer_ases = 30) {
+  ModelParams p;
+  p.prefixes = kPrefixes;
+  p.aps = 50;
+  p.rrs = 100;
+  p.bal = kBal(peer_ases);
+  return p;
+}
+
+void row(double x, const ModelParams& p) {
+  std::printf("%-12.0f %-14.0f %-14.0f %-14.0f\n", x, AbrrModel::rib_in(p),
+              TbrrModel::rib_in(p), TbrrMultiModel::rib_in(p));
+}
+
+void header(const char* x) {
+  std::printf("%-12s %-14s %-14s %-14s\n", x, "ABRR", "TBRR", "TBRR-multi");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Figure 4: analytical # RIB-In entries of an ARR/TRR\n");
+  std::printf("# defaults: 400K prefixes, 50 APs/clusters, 2 RRs per\n");
+  std::printf("# AP/cluster, 30 peer ASes (#BAL via F)\n\n");
+
+  std::printf("(a) vs number of routers (RR RIBs are router-independent)\n");
+  header("#Routers");
+  for (const double n : {500, 1000, 2000, 4000, 8000}) {
+    row(n, base());  // the models do not depend on it: flat lines
+  }
+
+  std::printf("\n(b) vs number of APs / clusters (2 RRs each)\n");
+  header("#APs");
+  for (const double aps : {5, 10, 20, 50, 100, 200}) {
+    ModelParams p = base();
+    p.aps = aps;
+    p.rrs = 2 * aps;
+    row(aps, p);
+  }
+
+  std::printf("\n(c) vs RRs per AP / cluster (redundancy factor)\n");
+  header("#RRs/AP");
+  for (const double k : {1, 2, 3, 4, 6, 8}) {
+    ModelParams p = base();
+    p.rrs = k * p.aps;
+    row(k, p);
+  }
+
+  std::printf("\n(d) vs number of peer ASes (through #BAL = F(#PASs))\n");
+  header("#PeerASes");
+  for (const double pas : {5, 10, 20, 30, 40, 60}) {
+    row(pas, base(pas));
+  }
+
+  const ModelParams p = base();
+  std::printf("\n# headline: TBRR/ABRR RIB-In ratio at defaults = %.1fx\n",
+              TbrrModel::rib_in(p) / AbrrModel::rib_in(p));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 5 (a-d): analytical RIB-Out size of an ARR/TRR, same sweeps as
+// Figure 4. Expected shapes: ABRR shrinks steadily with more APs (only
+// managed prefixes are advertised) while TBRR is capped by the paper at
+// 100 clusters (#clusters is bounded by major PoPs); redundancy and
+// router count leave RIB-Out flat; peer ASes grow everything via #BAL.
+#include <cstdio>
+
+#include "analysis/regression.h"
+#include "analysis/rib_model.h"
+
+namespace {
+
+using namespace abrr::analysis;
+
+const BalModel kBal;
+
+ModelParams base(double peer_ases = 30) {
+  ModelParams p;
+  p.prefixes = 400'000;
+  p.aps = 50;
+  p.rrs = 100;
+  p.bal = kBal(peer_ases);
+  return p;
+}
+
+void header(const char* x) {
+  std::printf("%-12s %-14s %-14s %-14s\n", x, "ABRR", "TBRR", "TBRR-multi");
+}
+
+void row(double x, const ModelParams& p, bool tbrr_valid = true) {
+  if (tbrr_valid) {
+    std::printf("%-12.0f %-14.0f %-14.0f %-14.0f\n", x,
+                AbrrModel::rib_out(p), TbrrModel::rib_out(p),
+                TbrrMultiModel::rib_out(p));
+  } else {
+    // The paper truncates TBRR curves at 100 clusters (Fig. 5b).
+    std::printf("%-12.0f %-14.0f %-14s %-14s\n", x, AbrrModel::rib_out(p),
+                "-", "-");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Figure 5: analytical # RIB-Out entries of an ARR/TRR\n\n");
+
+  std::printf("(a) vs number of routers (flat)\n");
+  header("#Routers");
+  for (const double n : {500, 1000, 2000, 4000, 8000}) row(n, base());
+
+  std::printf("\n(b) vs number of APs / clusters (TBRR capped at 100)\n");
+  header("#APs");
+  for (const double aps : {5, 10, 20, 50, 100, 200, 400}) {
+    ModelParams p = base();
+    p.aps = aps;
+    p.rrs = 2 * aps;
+    row(aps, p, /*tbrr_valid=*/aps <= 100);
+  }
+
+  std::printf("\n(c) vs RRs per AP / cluster (flat: RIB-Out is per group)\n");
+  header("#RRs/AP");
+  for (const double k : {1, 2, 3, 4, 6, 8}) {
+    ModelParams p = base();
+    p.rrs = k * p.aps;
+    row(k, p);
+  }
+
+  std::printf("\n(d) vs number of peer ASes\n");
+  header("#PeerASes");
+  for (const double pas : {5, 10, 20, 30, 40, 60}) row(pas, base(pas));
+
+  const ModelParams p = base();
+  std::printf("\n# headline: TBRR/ABRR RIB-Out ratio at defaults = %.1fx\n",
+              TbrrModel::rib_out(p) / AbrrModel::rib_out(p));
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the BGP
+// substrate: decision process, best-AS-level filtering, RIB operations,
+// prefix-trie longest match, scheduler throughput, and SPF.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bgp/decision.h"
+#include "bgp/prefix_trie.h"
+#include "bgp/rib.h"
+#include "igp/spf.h"
+#include "sim/random.h"
+#include "sim/scheduler.h"
+#include "topo/topology.h"
+
+namespace {
+
+using namespace abrr;
+using bgp::Ipv4Prefix;
+using bgp::Route;
+using bgp::RouteBuilder;
+
+std::vector<Route> make_candidates(std::size_t n, sim::Rng& rng) {
+  std::vector<Route> out;
+  const Ipv4Prefix pfx = Ipv4Prefix::parse("10.0.0.0/8");
+  for (std::size_t i = 0; i < n; ++i) {
+    RouteBuilder b{pfx};
+    b.path_id(static_cast<bgp::PathId>(i + 1))
+        .local_pref(100)
+        .as_path({static_cast<bgp::Asn>(7000 + i % 8), 64512,
+                  static_cast<bgp::Asn>(30000 + i % 4)})
+        .med(static_cast<std::uint32_t>(10 * (i % 4)))
+        .next_hop(static_cast<bgp::RouterId>(i + 1))
+        .learned_from(static_cast<bgp::RouterId>(100 + i),
+                      bgp::LearnedVia::kIbgp);
+    out.push_back(b.build());
+  }
+  (void)rng;
+  return out;
+}
+
+void BM_SelectBest(benchmark::State& state) {
+  sim::Rng rng{1};
+  const auto candidates =
+      make_candidates(static_cast<std::size_t>(state.range(0)), rng);
+  const bgp::IgpDistanceFn igp = [](bgp::RouterId nh) -> std::int64_t {
+    return nh * 7 % 97;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::select_best(candidates, 1, igp));
+  }
+}
+BENCHMARK(BM_SelectBest)->Arg(2)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_BestAsLevel(benchmark::State& state) {
+  sim::Rng rng{1};
+  const auto candidates =
+      make_candidates(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::best_as_level_routes(candidates));
+  }
+}
+BENCHMARK(BM_BestAsLevel)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_AdjRibInAnnounceWithdraw(benchmark::State& state) {
+  sim::Rng rng{2};
+  const auto routes = make_candidates(64, rng);
+  bgp::AdjRibIn rib;
+  for (auto _ : state) {
+    for (const auto& r : routes) rib.announce(r);
+    for (const auto& r : routes) {
+      rib.withdraw(r.learned_from, r.prefix, r.path_id);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          128);
+}
+BENCHMARK(BM_AdjRibInAnnounceWithdraw);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  sim::Rng rng{3};
+  bgp::PrefixTrie<int> trie;
+  for (int i = 0; i < 10000; ++i) {
+    const auto addr =
+        static_cast<bgp::Ipv4Addr>(rng.uniform_int(0, 0xDF000000));
+    trie.insert(Ipv4Prefix{addr, static_cast<std::uint8_t>(
+                                     rng.uniform_int(12, 24))},
+                i);
+  }
+  bgp::Ipv4Addr probe = 0x0A000000;
+  for (auto _ : state) {
+    probe = probe * 2654435761u + 12345;
+    benchmark::DoNotOptimize(trie.longest_match(probe));
+  }
+}
+BENCHMARK(BM_TrieLongestMatch);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(i, [&counter] { ++counter; });
+    }
+    sched.run_to_quiescence();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+void BM_SpfTier1(benchmark::State& state) {
+  sim::Rng rng{4};
+  topo::TopologyParams tp;
+  tp.pops = 13;
+  tp.clients_per_pop = 8;
+  const auto topology = topo::make_tier1(tp, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        igp::compute_spf(topology.graph, topology.clients.front().id));
+  }
+}
+BENCHMARK(BM_SpfTier1);
+
+void BM_RouteSetHash(benchmark::State& state) {
+  sim::Rng rng{5};
+  const auto routes = make_candidates(10, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::route_set_hash(routes));
+  }
+}
+BENCHMARK(BM_RouteSetHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Tier-1 scenario: the deployment the paper's introduction motivates.
+//
+// Synthesizes a 13-PoP Tier-1 AS (peering routers, 25 peer ASes at ~8
+// peering points each), generates a calibrated RIB snapshot, and runs
+// the same network twice: full-mesh iBGP (the gold standard that does
+// not scale) and ABRR with 8 Address Partitions. It then demonstrates
+// the paper's three headline properties:
+//   1. ABRR selects exactly the routes full-mesh would select,
+//   2. forwarding is loop-free and hot-potato optimal,
+//   3. each ARR holds a small slice of the full-mesh state.
+//
+//   $ ./tier1_abrr [--prefixes=N]
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "harness/testbed.h"
+#include "trace/regenerator.h"
+#include "verify/efficiency.h"
+#include "verify/equivalence.h"
+#include "verify/forwarding.h"
+
+using namespace abrr;
+
+int main(int argc, char** argv) {
+  std::size_t n_prefixes = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--prefixes=", 11) == 0) {
+      n_prefixes = std::strtoull(argv[i] + 11, nullptr, 10);
+    }
+  }
+
+  sim::Rng rng{7};
+  topo::TopologyParams tp;
+  tp.pops = 13;
+  tp.clients_per_pop = 8;
+  tp.peering_router_fraction = 1.0;
+  tp.peer_ases = 25;
+  tp.peering_points_per_as = 8;
+  const auto topology = topo::make_tier1(tp, rng);
+
+  trace::WorkloadParams wp;
+  wp.prefixes = n_prefixes;
+  const auto workload = trace::Workload::generate(wp, topology, rng);
+  const auto prefixes = workload.prefixes();
+  std::printf("Tier-1 AS: %zu routers, %zu eBGP peering points, %zu"
+              " prefixes\n\n",
+              topology.clients.size(), topology.peering_points.size(),
+              n_prefixes);
+
+  const auto build = [&](ibgp::IbgpMode mode) {
+    harness::TestbedOptions o;
+    o.mode = mode;
+    o.num_aps = 8;
+    o.mrai = sim::sec(5);
+    auto bed = std::make_unique<harness::Testbed>(topology, o, prefixes);
+    trace::RouteRegenerator regen{bed->scheduler(), workload,
+                                  bed->inject_fn()};
+    regen.load_snapshot(0, sim::sec(20));
+    bed->run_to_quiescence();
+    return bed;
+  };
+
+  std::printf("loading the snapshot under full-mesh iBGP...\n");
+  auto mesh = build(ibgp::IbgpMode::kFullMesh);
+  std::printf("  %zu iBGP sessions, converged at t=%.1fs\n\n",
+              mesh->session_count(),
+              sim::to_seconds(mesh->scheduler().now()));
+
+  std::printf("loading the same snapshot under ABRR (8 APs x 2 ARRs)...\n");
+  auto abrr = build(ibgp::IbgpMode::kAbrr);
+  std::printf("  %zu iBGP sessions, converged at t=%.1fs\n\n",
+              abrr->session_count(),
+              sim::to_seconds(abrr->scheduler().now()));
+
+  // 1. Full-mesh equivalence.
+  const auto eq = verify::compare_loc_ribs(*abrr, *mesh, prefixes);
+  std::printf("[1] route selection: %zu (router, prefix) pairs compared, "
+              "%zu diverged %s\n",
+              eq.compared, eq.divergence_count,
+              eq.equivalent() ? "- exact full-mesh emulation" : "(!)");
+
+  // 2. Data-plane health.
+  verify::ForwardingChecker checker{*abrr};
+  const auto audit = checker.audit(prefixes);
+  const auto eff = verify::audit_efficiency(*abrr, workload);
+  std::printf("[2] forwarding: %zu walks, %zu delivered, %zu loops; "
+              "%zu hot-potato violations\n",
+              audit.checked, audit.delivered, audit.loops,
+              eff.inefficient);
+
+  // 3. State per reflector.
+  const auto mesh_state =
+      mesh->speaker(mesh->client_ids().front()).rib_in_size();
+  const auto arr = abrr->rr_rib_in();
+  std::printf("[3] state: a full-mesh router holds %zu Adj-RIB-In routes;"
+              " an ARR holds %.0f on average (min %.0f / max %.0f)\n",
+              mesh_state, arr.avg, arr.min, arr.max);
+
+  std::printf("\nABRR placement freedom: the 16 ARRs were attached to\n");
+  std::printf("random PoPs; none of the three results above depends on\n");
+  std::printf("where they sit (S2.3.3 of the paper).\n");
+  return 0;
+}

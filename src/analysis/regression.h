@@ -1,0 +1,48 @@
+// Least-squares helpers: the paper fits a regression line F(#PASs) to the
+// measured best-AS-level-routes-per-prefix curve (§3.1) and uses it as
+// #BAL throughout the analysis.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+namespace abrr::analysis {
+
+/// y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+
+  double operator()(double x) const { return slope * x + intercept; }
+
+  /// Coefficient of determination of the fit on its input data.
+  double r2 = 0;
+};
+
+/// Ordinary least squares over (x, y) pairs. Requires >= 2 points.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// The paper's F(#PASs): best AS-level routes per prefix as a function of
+/// the number of peer ASes. Defaults to a fit through the two anchors
+/// published in the paper: 10.2 routes/prefix at 25 peer ASes on peer
+/// prefixes, and the single-path floor of 1 at 0 peers. Experiments
+/// replace this with a fit to their own generated workload.
+class BalModel {
+ public:
+  BalModel() : fit_{(10.2 - 1.0) / 25.0, 1.0, 1.0} {}
+  explicit BalModel(LinearFit fit) : fit_(fit) {}
+
+  /// #BAL for a given number of peer ASes (floored at 1).
+  double operator()(double peer_ases) const {
+    const double v = fit_(peer_ases);
+    return v < 1.0 ? 1.0 : v;
+  }
+
+  const LinearFit& fit() const { return fit_; }
+
+ private:
+  LinearFit fit_;
+};
+
+}  // namespace abrr::analysis

@@ -1,0 +1,56 @@
+#include "analysis/rib_model.h"
+
+namespace abrr::analysis {
+
+double AbrrModel::rib_in_managed(const ModelParams& p) {
+  return p.bal * p.prefixes / p.aps;
+}
+
+double AbrrModel::rib_in_unmanaged(const ModelParams& p) {
+  return (p.rrs / p.aps) * p.prefixes * (1.0 - 1.0 / p.aps);
+}
+
+double AbrrModel::rib_in(const ModelParams& p) {
+  return rib_in_managed(p) + rib_in_unmanaged(p);
+}
+
+double AbrrModel::rib_out(const ModelParams& p) { return rib_in_managed(p); }
+
+double TbrrModel::g(const ModelParams& p) {
+  if (p.bal < p.aps) return p.bal / p.aps * p.prefixes;
+  return p.prefixes;
+}
+
+double TbrrModel::rib_in_managed(const ModelParams& p) {
+  return p.bal / p.aps * p.prefixes;
+}
+
+double TbrrModel::rib_in_unmanaged(const ModelParams& p) {
+  return g(p) * (p.rrs - 1.0);
+}
+
+double TbrrModel::rib_in(const ModelParams& p) {
+  return rib_in_managed(p) + rib_in_unmanaged(p);
+}
+
+double TbrrModel::rib_out(const ModelParams& p) {
+  return g(p) * 2.0 + (p.prefixes - g(p)) * 1.0;
+}
+
+double TbrrMultiModel::rib_in_managed(const ModelParams& p) {
+  return TbrrModel::rib_in_managed(p);
+}
+
+double TbrrMultiModel::rib_in_unmanaged(const ModelParams& p) {
+  return rib_in_managed(p) * (p.rrs - 1.0);
+}
+
+double TbrrMultiModel::rib_in(const ModelParams& p) {
+  return rib_in_managed(p) + rib_in_unmanaged(p);
+}
+
+double TbrrMultiModel::rib_out(const ModelParams& p) {
+  return rib_in_managed(p) * 2.0 + rib_in_unmanaged(p) * 1.0;
+}
+
+}  // namespace abrr::analysis

@@ -1,0 +1,53 @@
+// Appendix A: closed-form RIB-In / RIB-Out sizes for ARRs, single-path
+// TRRs, and multi-path TRRs.
+#pragma once
+
+#include <cstdint>
+
+namespace abrr::analysis {
+
+/// Input parameters of the analysis (Appendix A). Counts are totals for
+/// the AS; `arrs`/`trrs` are the TOTAL number of RRs, so the redundancy
+/// factor is arrs/aps (resp. trrs/clusters).
+struct ModelParams {
+  double prefixes = 400'000;  // #Prefixes
+  double aps = 50;            // #APs (ABRR) or #Clusters (TBRR)
+  double rrs = 100;           // #ARRs or #TRRs (total)
+  double bal = 0;             // #BAL: best AS-level routes per prefix
+};
+
+/// ABRR (Appendix A.1).
+struct AbrrModel {
+  /// Managed routes: S^m = #BAL x #Prefixes / #APs.
+  static double rib_in_managed(const ModelParams& p);
+  /// Unmanaged routes: S^u = (#ARRs/#APs) x #Prefixes x (1 - 1/#APs).
+  static double rib_in_unmanaged(const ModelParams& p);
+  /// S = S^m + S^u.
+  static double rib_in(const ModelParams& p);
+  /// RIB-Out = S^m (single peer group of all clients).
+  static double rib_out(const ModelParams& p);
+};
+
+/// Single-path TBRR (Appendix A.2).
+struct TbrrModel {
+  /// G(.): routes a TRR advertises to another TRR.
+  static double g(const ModelParams& p);
+  /// S^m = (#BAL / #Clusters) x #Prefixes.
+  static double rib_in_managed(const ModelParams& p);
+  /// S^u = G(.) x (#TRRs - 1).
+  static double rib_in_unmanaged(const ModelParams& p);
+  static double rib_in(const ModelParams& p);
+  /// RIB-Out = G(.) x 2 + (#Prefixes - G(.)) x 1.
+  static double rib_out(const ModelParams& p);
+};
+
+/// Multi-path TBRR (Appendix A.3).
+struct TbrrMultiModel {
+  static double rib_in_managed(const ModelParams& p);
+  static double rib_in_unmanaged(const ModelParams& p);
+  static double rib_in(const ModelParams& p);
+  /// RIB-Out = S^m x 2 + S^u x 1.
+  static double rib_out(const ModelParams& p);
+};
+
+}  // namespace abrr::analysis

@@ -1,0 +1,58 @@
+// §3.3 / §3.4: iBGP peering-session counts per role.
+//
+// In the measured Tier-1 AS the busiest TRR had ~200 sessions (average
+// ~100), while an ARR would need >1000 — one per router — which modern
+// control-plane boxes handle (tested to 8000 full-table sessions).
+// Clients go from 2 sessions (TBRR) to 2 x #APs (ABRR), still small for
+// the recommended 10-15 APs.
+#pragma once
+
+namespace abrr::analysis {
+
+struct SessionParams {
+  double routers = 2000;        // data-plane routers in the AS
+  double aps = 50;              // APs (ABRR) or clusters (TBRR)
+  double rrs_per_group = 2;     // ARRs per AP / TRRs per cluster
+};
+
+struct SessionModel {
+  /// An ARR peers with every data-plane router and with the ARRs of
+  /// every other AP (its client role).
+  static double arr_sessions(const SessionParams& p) {
+    return p.routers + (p.aps - 1) * p.rrs_per_group;
+  }
+
+  /// A TRR peers with its cluster's clients and every other TRR
+  /// (including its same-cluster twin only through the client rows, so
+  /// we count the full TRR mesh minus itself).
+  static double trr_sessions(const SessionParams& p) {
+    const double clients_per_cluster = p.routers / p.aps;
+    const double total_trrs = p.aps * p.rrs_per_group;
+    return clients_per_cluster + (total_trrs - p.rrs_per_group);
+  }
+
+  /// An ABRR client peers with every ARR.
+  static double abrr_client_sessions(const SessionParams& p) {
+    return p.aps * p.rrs_per_group;
+  }
+
+  /// A TBRR client peers with its cluster's TRRs only.
+  static double tbrr_client_sessions(const SessionParams& p) {
+    return p.rrs_per_group;
+  }
+
+  /// Total sessions in the AS (each counted once).
+  static double abrr_total(const SessionParams& p) {
+    const double arrs = p.aps * p.rrs_per_group;
+    return arrs * p.routers + arrs * (arrs - p.rrs_per_group) / 2.0;
+  }
+  static double tbrr_total(const SessionParams& p) {
+    const double trrs = p.aps * p.rrs_per_group;
+    return p.routers * p.rrs_per_group + trrs * (trrs - 1) / 2.0;
+  }
+  static double full_mesh_total(const SessionParams& p) {
+    return p.routers * (p.routers - 1) / 2.0;
+  }
+};
+
+}  // namespace abrr::analysis

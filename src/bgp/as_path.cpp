@@ -1,0 +1,28 @@
+#include "bgp/as_path.h"
+
+#include <algorithm>
+
+namespace abrr::bgp {
+
+bool AsPath::contains(Asn asn) const {
+  return std::find(asns_.begin(), asns_.end(), asn) != asns_.end();
+}
+
+AsPath AsPath::prepend(Asn asn) const {
+  std::vector<Asn> next;
+  next.reserve(asns_.size() + 1);
+  next.push_back(asn);
+  next.insert(next.end(), asns_.begin(), asns_.end());
+  return AsPath{std::move(next)};
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (const Asn asn : asns_) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(asn);
+  }
+  return out;
+}
+
+}  // namespace abrr::bgp

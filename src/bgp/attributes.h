@@ -1,0 +1,73 @@
+// BGP path attributes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bgp/as_path.h"
+#include "bgp/types.h"
+
+namespace abrr::bgp {
+
+/// ORIGIN attribute; lower is preferred (decision step 3).
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+/// Standard community (RFC 1997).
+using Community = std::uint32_t;
+
+/// Extended community (RFC 4360), 8 octets.
+using ExtCommunity = std::uint64_t;
+
+/// The ABRR "reflected" marker (§2.3.2): a single bit carried as an
+/// extended community telling ARRs that an update has already been
+/// reflected once and must not be reflected again. This replaces the
+/// heavier Cluster-List/Originator-ID machinery for loop prevention.
+inline constexpr ExtCommunity kAbrrReflectedCommunity = 0xABBA'0000'0000'0001ULL;
+
+/// The attribute set carried by a route.
+///
+/// Immutable once built and shared between RIB entries via
+/// std::shared_ptr, mirroring how real BGP implementations intern
+/// attribute sets (Quagga's attrhash).
+struct PathAttrs {
+  AsPath as_path;
+  Origin origin = Origin::kIncomplete;
+  /// NEXT_HOP. Border routers apply next-hop-self, so inside the AS this
+  /// is the RouterId of the egress border router.
+  Ipv4Addr next_hop = 0;
+  std::uint32_t local_pref = kDefaultLocalPref;
+  /// MULTI_EXIT_DISC; absent means "not set" (treated as 0 = best by the
+  /// default decision configuration).
+  std::optional<std::uint32_t> med;
+  std::vector<Community> communities;
+  std::vector<ExtCommunity> ext_communities;
+  /// ORIGINATOR_ID (RFC 4456), set by the first reflector.
+  std::optional<RouterId> originator_id;
+  /// CLUSTER_LIST (RFC 4456), prepended by each reflector.
+  std::vector<std::uint32_t> cluster_list;
+
+  bool has_ext_community(ExtCommunity c) const;
+
+  /// Wire-size estimate of the attribute block in bytes.
+  std::size_t wire_size() const;
+
+  friend bool operator==(const PathAttrs&, const PathAttrs&) = default;
+};
+
+/// Shared immutable attribute handle.
+using AttrsPtr = std::shared_ptr<const PathAttrs>;
+
+/// Interns an attribute set (by-value construction helper).
+AttrsPtr make_attrs(PathAttrs attrs);
+
+/// Copy-on-write helper: clones `base`, applies `mutate`, and re-wraps.
+template <typename Fn>
+AttrsPtr with_attrs(const AttrsPtr& base, Fn&& mutate) {
+  PathAttrs copy = *base;
+  mutate(copy);
+  return make_attrs(std::move(copy));
+}
+
+}  // namespace abrr::bgp

@@ -1,0 +1,165 @@
+#include "bgp/decision.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace abrr::bgp {
+namespace {
+
+// Generic elimination pass: keep the candidates minimising `key`.
+template <typename Key>
+void keep_min(std::vector<Route>& routes, Key key) {
+  if (routes.size() <= 1) return;
+  auto best = key(routes.front());
+  for (std::size_t i = 1; i < routes.size(); ++i) {
+    best = std::min(best, key(routes[i]));
+  }
+  std::erase_if(routes, [&](const Route& r) { return key(r) != best; });
+}
+
+}  // namespace
+
+std::uint32_t DecisionConfig::med_of(const Route& r) const {
+  if (ignore_med) return 0;
+  if (r.attrs->med) return *r.attrs->med;
+  return missing_med_as_worst ? std::numeric_limits<std::uint32_t>::max() : 0;
+}
+
+std::vector<Route> filter_as_level_pre_med(std::span<const Route> candidates) {
+  std::vector<Route> routes(candidates.begin(), candidates.end());
+  std::erase_if(routes, [](const Route& r) { return !r.valid(); });
+  // Step 1: highest LOCAL_PREF (negate for keep_min).
+  keep_min(routes, [](const Route& r) {
+    return -static_cast<std::int64_t>(r.attrs->local_pref);
+  });
+  // Step 2: shortest AS path.
+  keep_min(routes, [](const Route& r) { return r.attrs->as_path.length(); });
+  // Step 3: lowest origin type.
+  keep_min(routes, [](const Route& r) {
+    return static_cast<int>(r.attrs->origin);
+  });
+  return routes;
+}
+
+std::vector<Route> best_as_level_routes(std::span<const Route> candidates,
+                                        const DecisionConfig& cfg) {
+  std::vector<Route> routes = filter_as_level_pre_med(candidates);
+  if (routes.size() <= 1 || cfg.ignore_med) return routes;
+
+  // Step 4: lowest MED. Default semantics compare only within a
+  // neighbor-AS group (deterministic-MED elimination); the survivors of
+  // every group together form the best AS-level set.
+  if (cfg.always_compare_med) {
+    keep_min(routes, [&](const Route& r) { return cfg.med_of(r); });
+    return routes;
+  }
+  std::map<Asn, std::uint32_t> group_min;
+  for (const Route& r : routes) {
+    const auto [it, inserted] = group_min.emplace(r.neighbor_as(), cfg.med_of(r));
+    if (!inserted) it->second = std::min(it->second, cfg.med_of(r));
+  }
+  std::erase_if(routes, [&](const Route& r) {
+    return cfg.med_of(r) != group_min.at(r.neighbor_as());
+  });
+  return routes;
+}
+
+Route select_best_sequential(std::span<const Route> candidates, RouterId self,
+                             const IgpDistanceFn& igp_distance,
+                             const DecisionConfig& cfg) {
+  const auto igp_cost = [&](const Route& r) -> std::int64_t {
+    const RouterId nh = r.egress();
+    if (nh == self) return 0;
+    return igp_distance ? igp_distance(nh) : 0;
+  };
+  // Pairwise comparison: returns true if `a` beats `b`.
+  const auto beats = [&](const Route& a, const Route& b) {
+    if (a.attrs->local_pref != b.attrs->local_pref) {
+      return a.attrs->local_pref > b.attrs->local_pref;
+    }
+    if (a.attrs->as_path.length() != b.attrs->as_path.length()) {
+      return a.attrs->as_path.length() < b.attrs->as_path.length();
+    }
+    if (a.attrs->origin != b.attrs->origin) {
+      return a.attrs->origin < b.attrs->origin;
+    }
+    if (!cfg.ignore_med &&
+        (cfg.always_compare_med || a.neighbor_as() == b.neighbor_as()) &&
+        cfg.med_of(a) != cfg.med_of(b)) {
+      return cfg.med_of(a) < cfg.med_of(b);
+    }
+    const int via_a = a.via == LearnedVia::kIbgp ? 1 : 0;
+    const int via_b = b.via == LearnedVia::kIbgp ? 1 : 0;
+    if (via_a != via_b) return via_a < via_b;
+    if (igp_cost(a) != igp_cost(b)) return igp_cost(a) < igp_cost(b);
+    if (cfg.prefer_shorter_cluster_list &&
+        a.attrs->cluster_list.size() != b.attrs->cluster_list.size()) {
+      return a.attrs->cluster_list.size() < b.attrs->cluster_list.size();
+    }
+    const RouterId oa = a.attrs->originator_id.value_or(a.learned_from);
+    const RouterId ob = b.attrs->originator_id.value_or(b.learned_from);
+    if (oa != ob) return oa < ob;
+    if (a.learned_from != b.learned_from) {
+      return a.learned_from < b.learned_from;
+    }
+    return a.path_id < b.path_id;
+  };
+
+  Route best;
+  for (const Route& r : candidates) {
+    if (!r.valid() || igp_cost(r) == kIgpInfinity) continue;
+    if (!best.valid() || beats(r, best)) best = r;
+  }
+  return best;
+}
+
+Route select_best(std::span<const Route> candidates, RouterId self,
+                  const IgpDistanceFn& igp_distance,
+                  const DecisionConfig& cfg) {
+  if (!cfg.deterministic_med) {
+    return select_best_sequential(candidates, self, igp_distance, cfg);
+  }
+  std::vector<Route> routes = best_as_level_routes(candidates, cfg);
+  if (routes.empty()) return {};
+
+  // Step 5: prefer eBGP-learned (and locally-originated) over iBGP.
+  keep_min(routes, [](const Route& r) {
+    return r.via == LearnedVia::kIbgp ? 1 : 0;
+  });
+
+  // Step 6: lowest IGP metric to the NEXT_HOP.
+  const auto igp_cost = [&](const Route& r) -> std::int64_t {
+    const RouterId nh = r.egress();
+    if (nh == self) return 0;
+    return igp_distance ? igp_distance(nh) : 0;
+  };
+  keep_min(routes, igp_cost);
+  // Routes whose next hop is unreachable are unusable.
+  if (!routes.empty() && igp_cost(routes.front()) == kIgpInfinity) return {};
+
+  // Step 7 (RFC 4456 refinement): prefer the route with the lower
+  // ORIGINATOR_ID / router ID of the advertising router...
+  if (cfg.prefer_shorter_cluster_list) {
+    // ...but first the shorter CLUSTER_LIST (RFC 4456 §9).
+    keep_min(routes, [](const Route& r) {
+      return r.attrs->cluster_list.size();
+    });
+  }
+  keep_min(routes, [](const Route& r) {
+    return r.attrs->originator_id ? *r.attrs->originator_id : r.learned_from;
+  });
+
+  // Step 8: lowest peer address; our peer addresses are RouterIds. A
+  // final path-id tie-break guarantees a total order (determinism).
+  keep_min(routes, [](const Route& r) { return r.learned_from; });
+  keep_min(routes, [](const Route& r) { return r.path_id; });
+  return routes.front();
+}
+
+Route select_best_no_igp(std::span<const Route> candidates,
+                         const DecisionConfig& cfg) {
+  return select_best(candidates, kNoRouter, nullptr, cfg);
+}
+
+}  // namespace abrr::bgp

@@ -1,0 +1,87 @@
+// RFC 4271 best-path decision process (Table 2 of the paper) and the
+// "best AS-level routes" computation used by ARRs (steps 1-4 only).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bgp/route.h"
+
+namespace abrr::bgp {
+
+/// IGP distance oracle for decision step 6: metric from the deciding
+/// router to a next hop (an egress RouterId). Unreachable next hops
+/// return kIgpInfinity and such routes are considered last.
+using IgpDistanceFn = std::function<std::int64_t(RouterId next_hop)>;
+
+inline constexpr std::int64_t kIgpInfinity = INT64_MAX;
+
+/// Tunables mirroring real router knobs that the paper discusses.
+struct DecisionConfig {
+  /// Compare MED across all neighbor ASes (Cisco "always-compare-med").
+  /// Off by default: MED is only comparable between routes from the same
+  /// neighboring AS, the behaviour that causes RFC 3345 oscillations.
+  bool always_compare_med = false;
+
+  /// Ignore MED entirely (footnote 1 of the paper: a border router
+  /// ignoring MED can hide low-MED routes in full mesh).
+  bool ignore_med = false;
+
+  /// Treat a missing MED as worst instead of 0/best.
+  bool missing_med_as_worst = false;
+
+  /// Deterministic (group-elimination) MED, the Cisco
+  /// "bgp deterministic-med" behaviour. When false, select_best degrades
+  /// to the classic order-dependent pairwise fold in which MED is only
+  /// consulted when two adjacent candidates share a neighbor AS — the
+  /// RFC 3345 behaviour whose partial order underlies MED-based
+  /// oscillations (§2.3.1). best_as_level_routes always uses group
+  /// elimination (that is its definition).
+  bool deterministic_med = true;
+
+  /// RFC 4456 §9: prefer the shorter CLUSTER_LIST before the router-ID
+  /// tie-break.
+  bool prefer_shorter_cluster_list = true;
+
+  std::uint32_t med_of(const Route& r) const;
+};
+
+/// Survivors of decision steps 1-3 (local-pref, path length, origin).
+/// The returned routes point into `candidates` by value copy.
+std::vector<Route> filter_as_level_pre_med(std::span<const Route> candidates);
+
+/// The paper's "best AS-level routes": survivors of steps 1-4.
+///
+/// Step 4 (MED) uses deterministic per-neighbor-AS elimination: within
+/// each neighbor-AS group only lowest-MED routes survive; the union over
+/// groups is returned. With always_compare_med a single global MED
+/// comparison is applied. This is exactly the set an ARR advertises to
+/// all clients (§2.1, Table 2).
+std::vector<Route> best_as_level_routes(std::span<const Route> candidates,
+                                        const DecisionConfig& cfg = {});
+
+/// Full 8-step best-path selection for one prefix.
+///
+/// `self` is the deciding router (used to resolve "next hop is myself"
+/// as IGP distance 0). Returns an empty (invalid) Route when
+/// `candidates` is empty or all next hops are unreachable.
+Route select_best(std::span<const Route> candidates, RouterId self,
+                  const IgpDistanceFn& igp_distance,
+                  const DecisionConfig& cfg = {});
+
+/// select_best without IGP awareness (all next hops distance 0); used by
+/// pure control-plane speakers and unit tests.
+Route select_best_no_igp(std::span<const Route> candidates,
+                         const DecisionConfig& cfg = {});
+
+/// Order-dependent pairwise selection (cfg.deterministic_med == false):
+/// folds candidates left to right, comparing MED only between routes of
+/// the same neighbor AS. Exposed for tests; select_best dispatches here
+/// automatically when the config requests it.
+Route select_best_sequential(std::span<const Route> candidates, RouterId self,
+                             const IgpDistanceFn& igp_distance,
+                             const DecisionConfig& cfg);
+
+}  // namespace abrr::bgp

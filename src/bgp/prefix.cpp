@@ -1,0 +1,66 @@
+#include "bgp/prefix.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace abrr::bgp {
+
+std::string format_ipv4(Ipv4Addr addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+Ipv4Addr parse_ipv4(const std::string& text) {
+  unsigned a, b, c, d;
+  char tail;
+  const int n =
+      std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument{"bad IPv4 address: " + text};
+  }
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Addr addr, std::uint8_t len) : len_(len) {
+  if (len > 32) throw std::invalid_argument{"prefix length > 32"};
+  addr_ = addr & mask();
+}
+
+Ipv4Prefix Ipv4Prefix::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument{"prefix missing '/': " + text};
+  }
+  const Ipv4Addr addr = parse_ipv4(text.substr(0, slash));
+  const int len = std::stoi(text.substr(slash + 1));
+  if (len < 0 || len > 32) {
+    throw std::invalid_argument{"bad prefix length: " + text};
+  }
+  return Ipv4Prefix{addr, static_cast<std::uint8_t>(len)};
+}
+
+Ipv4Addr Ipv4Prefix::mask() const {
+  return len_ == 0 ? 0 : ~Ipv4Addr{0} << (32 - len_);
+}
+
+Ipv4Addr Ipv4Prefix::last() const { return addr_ | ~mask(); }
+
+bool Ipv4Prefix::contains(Ipv4Addr addr) const {
+  return (addr & mask()) == addr_;
+}
+
+bool Ipv4Prefix::contains(const Ipv4Prefix& other) const {
+  return other.len_ >= len_ && contains(other.addr_);
+}
+
+bool Ipv4Prefix::overlaps(const Ipv4Prefix& other) const {
+  return contains(other) || other.contains(*this);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return format_ipv4(addr_) + "/" + std::to_string(len_);
+}
+
+}  // namespace abrr::bgp

@@ -1,0 +1,89 @@
+// IPv4 prefixes and address ranges.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "bgp/types.h"
+
+namespace abrr::bgp {
+
+/// An IPv4 prefix (address + mask length), the unit of BGP routing.
+///
+/// Invariant: host bits below the mask are zero (enforced on
+/// construction), so two prefixes compare equal iff they denote the same
+/// address block.
+class Ipv4Prefix {
+ public:
+  /// Default: 0.0.0.0/0.
+  constexpr Ipv4Prefix() = default;
+
+  /// Builds a prefix; masks out host bits. Requires len <= 32.
+  Ipv4Prefix(Ipv4Addr addr, std::uint8_t len);
+
+  /// Parses "a.b.c.d/len"; throws std::invalid_argument on bad input.
+  static Ipv4Prefix parse(const std::string& text);
+
+  Ipv4Addr address() const { return addr_; }
+  std::uint8_t length() const { return len_; }
+
+  /// Network mask for this prefix length.
+  Ipv4Addr mask() const;
+
+  /// First address covered by the prefix (== address()).
+  Ipv4Addr first() const { return addr_; }
+  /// Last address covered by the prefix.
+  Ipv4Addr last() const;
+
+  /// True if `addr` falls inside this prefix.
+  bool contains(Ipv4Addr addr) const;
+
+  /// True if `other` is fully contained in this prefix (or equal).
+  bool contains(const Ipv4Prefix& other) const;
+
+  /// True if the two prefixes share any address.
+  bool overlaps(const Ipv4Prefix& other) const;
+
+  /// "a.b.c.d/len".
+  std::string to_string() const;
+
+  friend auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+
+ private:
+  Ipv4Addr addr_ = 0;
+  std::uint8_t len_ = 0;
+};
+
+/// A contiguous address range [first, last]; ABRR Address Partitions are
+/// ranges rather than prefixes so that balancing can split anywhere.
+struct AddressRange {
+  Ipv4Addr first = 0;
+  Ipv4Addr last = 0;
+
+  bool contains(Ipv4Addr addr) const { return first <= addr && addr <= last; }
+
+  /// True if any address of `p` falls in the range: a prefix spanning two
+  /// ranges belongs to both (paper: "different APs can overlap" and a
+  /// prefix spanning APs is advertised to the ARRs of all of them).
+  bool overlaps(const Ipv4Prefix& p) const {
+    return p.first() <= last && first <= p.last();
+  }
+
+  friend auto operator<=>(const AddressRange&, const AddressRange&) = default;
+};
+
+}  // namespace abrr::bgp
+
+template <>
+struct std::hash<abrr::bgp::Ipv4Prefix> {
+  std::size_t operator()(const abrr::bgp::Ipv4Prefix& p) const noexcept {
+    // Mix address and length; lengths are tiny so a multiplicative mix is
+    // enough for hash-table use.
+    std::uint64_t v =
+        (static_cast<std::uint64_t>(p.address()) << 8) | p.length();
+    v *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(v ^ (v >> 32));
+  }
+};

@@ -1,0 +1,135 @@
+// Binary (Patricia-style) prefix trie keyed by Ipv4Prefix.
+//
+// Used by the forwarding verifier for longest-prefix match and by RIB
+// structures for ordered traversal. Header-only template.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "bgp/prefix.h"
+
+namespace abrr::bgp {
+
+/// Map from Ipv4Prefix to T with longest-prefix-match lookup.
+///
+/// A plain binary trie: depth is bounded by 32, so operations are O(32).
+/// Nodes without a value are pure branch points.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Number of stored (prefix, value) pairs.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts or overwrites the value at `prefix`. Returns a reference to
+  /// the stored value.
+  T& insert(const Ipv4Prefix& prefix, T value) {
+    Node* node = descend_create(prefix);
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+    return *node->value;
+  }
+
+  /// Returns the value stored exactly at `prefix`, or nullptr.
+  T* find(const Ipv4Prefix& prefix) {
+    Node* node = descend(prefix);
+    return node && node->value ? &*node->value : nullptr;
+  }
+  const T* find(const Ipv4Prefix& prefix) const {
+    return const_cast<PrefixTrie*>(this)->find(prefix);
+  }
+
+  /// Returns value at `prefix`, default-constructing it if absent.
+  T& operator[](const Ipv4Prefix& prefix) {
+    Node* node = descend_create(prefix);
+    if (!node->value) {
+      node->value.emplace();
+      ++size_;
+    }
+    return *node->value;
+  }
+
+  /// Removes the entry at `prefix`. Returns true if one existed.
+  /// (Branch nodes are left in place; fine for our access patterns.)
+  bool erase(const Ipv4Prefix& prefix) {
+    Node* node = descend(prefix);
+    if (!node || !node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Longest-prefix match for a single address; returns the matched
+  /// (prefix, value) or nullopt when nothing covers `addr`.
+  std::optional<std::pair<Ipv4Prefix, const T*>> longest_match(
+      Ipv4Addr addr) const {
+    const Node* node = root_.get();
+    std::optional<std::pair<Ipv4Prefix, const T*>> best;
+    if (node->value) best = {Ipv4Prefix{}, &*node->value};
+    for (std::uint8_t depth = 0; depth < 32 && node; ++depth) {
+      const int bit = (addr >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      if (node && node->value) {
+        best = {Ipv4Prefix{addr, static_cast<std::uint8_t>(depth + 1)},
+                &*node->value};
+      }
+    }
+    return best;
+  }
+
+  /// Visits every (prefix, value) pair in trie order.
+  void for_each(
+      const std::function<void(const Ipv4Prefix&, const T&)>& fn) const {
+    walk(root_.get(), 0, 0, fn);
+  }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  Node* descend(const Ipv4Prefix& prefix) const {
+    Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length() && node; ++depth) {
+      const int bit = (prefix.address() >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  Node* descend_create(const Ipv4Prefix& prefix) {
+    Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.address() >> (31 - depth)) & 1;
+      if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  void walk(const Node* node, Ipv4Addr addr, std::uint8_t depth,
+            const std::function<void(const Ipv4Prefix&, const T&)>& fn) const {
+    if (!node) return;
+    if (node->value) fn(Ipv4Prefix{addr, depth}, *node->value);
+    if (depth == 32) return;
+    walk(node->child[0].get(), addr, depth + 1, fn);
+    walk(node->child[1].get(), addr | (1u << (31 - depth)), depth + 1, fn);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace abrr::bgp

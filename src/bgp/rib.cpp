@@ -1,0 +1,196 @@
+#include "bgp/rib.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abrr::bgp {
+
+AdjRibIn::Change AdjRibIn::announce(const Route& route) {
+  if (!route.valid()) throw std::invalid_argument{"announce: invalid route"};
+  auto& paths = table_[route.prefix];
+  const Key key{route.learned_from, route.path_id};
+  const auto it = paths.find(key);
+  if (it == paths.end()) {
+    paths.emplace(key, route);
+    ++size_;
+    ++per_peer_[route.learned_from];
+    return Change::kAdded;
+  }
+  if (it->second.same_announcement(route) && it->second.via == route.via) {
+    return Change::kUnchanged;
+  }
+  it->second = route;
+  return Change::kReplaced;
+}
+
+bool AdjRibIn::withdraw(RouterId peer, const Ipv4Prefix& prefix,
+                        PathId path_id) {
+  const auto pit = table_.find(prefix);
+  if (pit == table_.end()) return false;
+  if (pit->second.erase(Key{peer, path_id}) == 0) return false;
+  --size_;
+  --per_peer_[peer];
+  if (pit->second.empty()) table_.erase(pit);
+  return true;
+}
+
+std::size_t AdjRibIn::withdraw_prefix(RouterId peer, const Ipv4Prefix& prefix) {
+  const auto pit = table_.find(prefix);
+  if (pit == table_.end()) return 0;
+  std::size_t removed = 0;
+  for (auto it = pit->second.begin(); it != pit->second.end();) {
+    if (it->first.first == peer) {
+      it = pit->second.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  size_ -= removed;
+  per_peer_[peer] -= removed;
+  if (pit->second.empty()) table_.erase(pit);
+  return removed;
+}
+
+std::vector<Ipv4Prefix> AdjRibIn::withdraw_peer(RouterId peer) {
+  std::vector<Ipv4Prefix> affected;
+  for (auto it = table_.begin(); it != table_.end();) {
+    std::size_t removed = 0;
+    for (auto pit = it->second.begin(); pit != it->second.end();) {
+      if (pit->first.first == peer) {
+        pit = it->second.erase(pit);
+        ++removed;
+      } else {
+        ++pit;
+      }
+    }
+    if (removed > 0) {
+      affected.push_back(it->first);
+      size_ -= removed;
+    }
+    it = it->second.empty() ? table_.erase(it) : std::next(it);
+  }
+  per_peer_.erase(peer);
+  return affected;
+}
+
+std::vector<Route> AdjRibIn::routes_for(const Ipv4Prefix& prefix) const {
+  std::vector<Route> out;
+  const auto it = table_.find(prefix);
+  if (it == table_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [key, route] : it->second) out.push_back(route);
+  return out;
+}
+
+std::size_t AdjRibIn::peer_size(RouterId peer) const {
+  const auto it = per_peer_.find(peer);
+  return it == per_peer_.end() ? 0 : it->second;
+}
+
+void AdjRibIn::for_each(const std::function<void(const Route&)>& fn) const {
+  for (const auto& [prefix, paths] : table_) {
+    for (const auto& [key, route] : paths) fn(route);
+  }
+}
+
+bool LocRib::install(const Route& route) {
+  if (!route.valid()) throw std::invalid_argument{"install: invalid route"};
+  auto [it, inserted] = table_.emplace(route.prefix, route);
+  if (inserted) return true;
+  if (it->second.same_announcement(route) &&
+      it->second.learned_from == route.learned_from &&
+      it->second.via == route.via) {
+    return false;
+  }
+  it->second = route;
+  return true;
+}
+
+bool LocRib::remove(const Ipv4Prefix& prefix) {
+  return table_.erase(prefix) > 0;
+}
+
+const Route* LocRib::best(const Ipv4Prefix& prefix) const {
+  const auto it = table_.find(prefix);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void LocRib::for_each(const std::function<void(const Route&)>& fn) const {
+  for (const auto& [prefix, route] : table_) fn(route);
+}
+
+namespace {
+
+bool same_route_set(const std::vector<Route>& a, const std::vector<Route>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].same_announcement(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<UpdateMessage> AdjRibOut::set(const Ipv4Prefix& prefix,
+                                            std::vector<Route> routes,
+                                            bool full_set) {
+  // Canonical order: by path id, so set comparison is stable.
+  std::sort(routes.begin(), routes.end(), [](const Route& a, const Route& b) {
+    return a.path_id < b.path_id;
+  });
+
+  const auto it = table_.find(prefix);
+  const std::vector<Route>* old = it == table_.end() ? nullptr : &it->second;
+  if (old == nullptr && routes.empty()) return std::nullopt;
+  if (old != nullptr && same_route_set(*old, routes)) return std::nullopt;
+
+  UpdateMessage msg;
+  msg.prefix = prefix;
+  msg.full_set = full_set;
+  if (full_set) {
+    msg.announce = routes;
+  } else {
+    // add-paths diff: announce new/changed paths, withdraw removed ones.
+    for (const Route& r : routes) {
+      const bool unchanged =
+          old != nullptr &&
+          std::any_of(old->begin(), old->end(), [&](const Route& o) {
+            return o.same_announcement(r);
+          });
+      if (!unchanged) msg.announce.push_back(r);
+    }
+    if (old != nullptr) {
+      for (const Route& o : *old) {
+        const bool still =
+            std::any_of(routes.begin(), routes.end(), [&](const Route& r) {
+              return r.path_id == o.path_id;
+            });
+        if (!still) msg.withdraw.push_back(o.path_id);
+      }
+    }
+  }
+
+  // Commit.
+  if (old != nullptr) size_ -= old->size();
+  size_ += routes.size();
+  if (routes.empty()) {
+    table_.erase(prefix);
+  } else {
+    table_[prefix] = std::move(routes);
+  }
+  return msg;
+}
+
+const std::vector<Route>* AdjRibOut::get(const Ipv4Prefix& prefix) const {
+  const auto it = table_.find(prefix);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void AdjRibOut::for_each(
+    const std::function<void(const Ipv4Prefix&, const std::vector<Route>&)>&
+        fn) const {
+  for (const auto& [prefix, routes] : table_) fn(prefix, routes);
+}
+
+}  // namespace abrr::bgp

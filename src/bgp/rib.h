@@ -1,0 +1,110 @@
+// Routing Information Bases: Adj-RIB-In, Loc-RIB, Adj-RIB-Out.
+//
+// Definitions follow §3.2 of the paper, which in turn follows RFC 4271:
+// Adj-RIB-In holds what each neighbor reported; Adj-RIB-Out holds what is
+// reported to neighbors (one logical copy per peer group).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bgp/route.h"
+#include "bgp/update.h"
+
+namespace abrr::bgp {
+
+/// Adj-RIB-In: routes reported by every neighbor, keyed by
+/// (prefix, sending peer, add-paths path id).
+class AdjRibIn {
+ public:
+  /// Result of applying an announcement.
+  enum class Change { kUnchanged, kAdded, kReplaced };
+
+  /// Stores/overwrites the route keyed by (prefix, learned_from,
+  /// path_id). Requires route.valid().
+  Change announce(const Route& route);
+
+  /// Removes one path. Returns true if it existed.
+  bool withdraw(RouterId peer, const Ipv4Prefix& prefix, PathId path_id);
+
+  /// Removes all paths for `prefix` from `peer`. Returns count removed.
+  std::size_t withdraw_prefix(RouterId peer, const Ipv4Prefix& prefix);
+
+  /// Session teardown: removes everything from `peer`; returns the
+  /// affected prefixes (for re-running decisions).
+  std::vector<Ipv4Prefix> withdraw_peer(RouterId peer);
+
+  /// All routes currently known for `prefix`, across all peers.
+  std::vector<Route> routes_for(const Ipv4Prefix& prefix) const;
+
+  /// Total entries (the paper's RIB-In size metric).
+  std::size_t size() const { return size_; }
+
+  /// Entries contributed by one peer.
+  std::size_t peer_size(RouterId peer) const;
+
+  /// Visits every stored route.
+  void for_each(const std::function<void(const Route&)>& fn) const;
+
+ private:
+  using Key = std::pair<RouterId, PathId>;
+  std::unordered_map<Ipv4Prefix, std::map<Key, Route>> table_;
+  std::unordered_map<RouterId, std::size_t> per_peer_;
+  std::size_t size_ = 0;
+};
+
+/// Loc-RIB: the single chosen best route per prefix.
+class LocRib {
+ public:
+  /// Installs `route` as best for its prefix; returns true if this
+  /// changed the entry (new or different announcement).
+  bool install(const Route& route);
+
+  /// Removes the entry; returns true if one existed.
+  bool remove(const Ipv4Prefix& prefix);
+
+  /// Current best, or nullptr.
+  const Route* best(const Ipv4Prefix& prefix) const;
+
+  std::size_t size() const { return table_.size(); }
+
+  void for_each(const std::function<void(const Route&)>& fn) const;
+
+ private:
+  std::unordered_map<Ipv4Prefix, Route> table_;
+};
+
+/// Adj-RIB-Out for one peer group: the set of routes advertised per
+/// prefix (a single route for single-path speakers, the best AS-level
+/// set for ARRs and multi-path TRRs).
+class AdjRibOut {
+ public:
+  /// Replaces the advertised set for `prefix`. Returns the update to
+  /// send if something changed, std::nullopt otherwise. `full_set`
+  /// selects ABRR replacement semantics for the generated message;
+  /// otherwise an add-paths diff (announce changed, withdraw removed) is
+  /// produced.
+  std::optional<UpdateMessage> set(const Ipv4Prefix& prefix,
+                                   std::vector<Route> routes, bool full_set);
+
+  /// Current advertised set (nullptr if none).
+  const std::vector<Route>* get(const Ipv4Prefix& prefix) const;
+
+  /// Total advertised route entries (the paper's RIB-Out size metric).
+  std::size_t size() const { return size_; }
+
+  void for_each(
+      const std::function<void(const Ipv4Prefix&, const std::vector<Route>&)>&
+          fn) const;
+
+ private:
+  std::unordered_map<Ipv4Prefix, std::vector<Route>> table_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace abrr::bgp

@@ -1,0 +1,48 @@
+#include "bgp/route.h"
+
+namespace abrr::bgp {
+namespace {
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+}  // namespace
+
+std::uint32_t route_set_hash(const std::vector<Route>& routes) {
+  std::uint64_t h = 0x84222325cbf29ce4ULL;
+  for (const Route& r : routes) {
+    mix(h, r.path_id);
+    if (!r.attrs) continue;
+    const PathAttrs& a = *r.attrs;
+    mix(h, a.next_hop);
+    mix(h, a.local_pref);
+    mix(h, a.med ? *a.med + 1ULL : 0ULL);
+    mix(h, static_cast<std::uint64_t>(a.origin) + 1);
+    for (const Asn asn : a.as_path.asns()) mix(h, asn);
+    mix(h, a.originator_id ? *a.originator_id + 1ULL : 0ULL);
+    for (const auto c : a.cluster_list) mix(h, c);
+    for (const auto c : a.ext_communities) mix(h, c);
+  }
+  const auto folded = static_cast<std::uint32_t>(h ^ (h >> 32));
+  return folded == 0 ? 1 : folded;
+}
+
+std::string Route::to_string() const {
+  std::string out = prefix.to_string();
+  out += " id=" + std::to_string(path_id);
+  if (attrs) {
+    out += " path=[" + attrs->as_path.to_string() + "]";
+    out += " nh=" + std::to_string(attrs->next_hop);
+    out += " lp=" + std::to_string(attrs->local_pref);
+    if (attrs->med) out += " med=" + std::to_string(*attrs->med);
+  }
+  switch (via) {
+    case LearnedVia::kLocal: out += " local"; break;
+    case LearnedVia::kEbgp: out += " ebgp"; break;
+    case LearnedVia::kIbgp: out += " ibgp"; break;
+  }
+  return out;
+}
+
+}  // namespace abrr::bgp

@@ -1,0 +1,38 @@
+// Fundamental BGP scalar types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace abrr::bgp {
+
+/// Autonomous System number (4-octet, RFC 6793).
+using Asn = std::uint32_t;
+
+/// BGP Identifier / router ID. In this library router IDs double as the
+/// router's loopback address: a border router that sets next-hop-self
+/// writes its RouterId into the NEXT_HOP attribute.
+using RouterId = std::uint32_t;
+
+/// IPv4 address in host byte order.
+using Ipv4Addr = std::uint32_t;
+
+/// add-paths Path Identifier (draft-ietf-idr-add-paths). This library
+/// assigns the originating client's RouterId as the path ID, which is
+/// unique per prefix because a client advertises at most one route per
+/// prefix into iBGP.
+using PathId = std::uint32_t;
+
+/// Sentinel meaning "no router" / "locally originated".
+inline constexpr RouterId kNoRouter = 0;
+
+/// Default LOCAL_PREF applied when none is set explicitly (RFC 4271).
+inline constexpr std::uint32_t kDefaultLocalPref = 100;
+
+/// Formats an IPv4 address as dotted quad (for logs and traces).
+std::string format_ipv4(Ipv4Addr addr);
+
+/// Parses a dotted quad; throws std::invalid_argument on malformed input.
+Ipv4Addr parse_ipv4(const std::string& text);
+
+}  // namespace abrr::bgp

@@ -1,0 +1,30 @@
+#include "bgp/update.h"
+
+namespace abrr::bgp {
+
+std::size_t UpdateMessage::wire_size() const {
+  std::size_t size = 19;  // marker + length + type
+  for (const Route& r : announce) {
+    size += 4 + 5;  // path id + NLRI (1 length byte + 4 address bytes)
+    if (r.attrs) size += r.attrs->wire_size();
+  }
+  size += (4 + 5) * withdraw.size();
+  return size;
+}
+
+std::string UpdateMessage::to_string() const {
+  std::string out = prefix.to_string();
+  out += full_set ? " SET{" : " ANN{";
+  for (const Route& r : announce) {
+    out += ' ' + std::to_string(r.path_id);
+  }
+  out += " }";
+  if (!withdraw.empty()) {
+    out += " WD{";
+    for (const PathId id : withdraw) out += ' ' + std::to_string(id);
+    out += " }";
+  }
+  return out;
+}
+
+}  // namespace abrr::bgp

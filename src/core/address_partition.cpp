@@ -1,0 +1,119 @@
+#include "core/address_partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abrr::core {
+namespace {
+
+// Finds the index of the range containing `addr`. Ranges are contiguous
+// and cover the whole space, so this always succeeds.
+std::size_t range_containing(const std::vector<AddressRange>& ranges,
+                             bgp::Ipv4Addr addr) {
+  const auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), addr,
+      [](bgp::Ipv4Addr a, const AddressRange& r) { return a < r.first; });
+  return static_cast<std::size_t>(it - ranges.begin()) - 1;
+}
+
+}  // namespace
+
+PartitionScheme::PartitionScheme(std::vector<AddressRange> ranges)
+    : ranges_(std::make_shared<const std::vector<AddressRange>>(
+          std::move(ranges))) {
+  if (ranges_->empty()) throw std::invalid_argument{"no address ranges"};
+  if (ranges_->front().first != 0 || ranges_->back().last != ~bgp::Ipv4Addr{0}) {
+    throw std::invalid_argument{"ranges must cover the address space"};
+  }
+  for (std::size_t i = 1; i < ranges_->size(); ++i) {
+    if ((*ranges_)[i].first != (*ranges_)[i - 1].last + 1) {
+      throw std::invalid_argument{"ranges must be contiguous"};
+    }
+  }
+}
+
+PartitionScheme PartitionScheme::uniform(std::size_t n) {
+  if (n == 0) throw std::invalid_argument{"uniform: n == 0"};
+  const std::uint64_t total = 1ULL << 32;
+  const std::uint64_t chunk = total / n;
+  std::vector<AddressRange> ranges;
+  ranges.reserve(n);
+  std::uint64_t start = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t end = i + 1 == n ? total - 1 : start + chunk - 1;
+    ranges.push_back(AddressRange{static_cast<bgp::Ipv4Addr>(start),
+                                  static_cast<bgp::Ipv4Addr>(end)});
+    start = end + 1;
+  }
+  return PartitionScheme{std::move(ranges)};
+}
+
+PartitionScheme PartitionScheme::balanced(
+    std::size_t n, std::span<const Ipv4Prefix> prefixes) {
+  if (n == 0) throw std::invalid_argument{"balanced: n == 0"};
+  if (prefixes.size() < n) {
+    // Too few prefixes to balance meaningfully; fall back to uniform.
+    return uniform(n);
+  }
+  std::vector<bgp::Ipv4Addr> starts(prefixes.size());
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    starts[i] = prefixes[i].first();
+  }
+  std::sort(starts.begin(), starts.end());
+
+  // Cut between equal-count chunks, midway between neighboring prefixes.
+  std::vector<AddressRange> ranges;
+  ranges.reserve(n);
+  bgp::Ipv4Addr begin = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t cut = i * prefixes.size() / n;
+    const std::uint64_t lo = starts[cut - 1];
+    const std::uint64_t hi = starts[cut];
+    std::uint64_t boundary = lo + (hi - lo) / 2;
+    if (boundary <= begin) boundary = static_cast<std::uint64_t>(begin) + 1;
+    if (boundary > ~bgp::Ipv4Addr{0}) boundary = ~bgp::Ipv4Addr{0};
+    ranges.push_back(
+        AddressRange{begin, static_cast<bgp::Ipv4Addr>(boundary - 1)});
+    begin = static_cast<bgp::Ipv4Addr>(boundary);
+  }
+  ranges.push_back(AddressRange{begin, ~bgp::Ipv4Addr{0}});
+  return PartitionScheme{std::move(ranges)};
+}
+
+std::vector<ApId> PartitionScheme::aps_of(const Ipv4Prefix& prefix) const {
+  const auto& ranges = *ranges_;
+  std::vector<ApId> out;
+  std::size_t i = range_containing(ranges, prefix.first());
+  out.push_back(static_cast<ApId>(i));
+  // A prefix spanning boundaries belongs to every AP it touches (§2.1).
+  while (ranges[i].last < prefix.last()) {
+    ++i;
+    out.push_back(static_cast<ApId>(i));
+  }
+  return out;
+}
+
+std::size_t PartitionScheme::prefixes_in(
+    ApId ap, std::span<const Ipv4Prefix> prefixes) const {
+  std::size_t count = 0;
+  for (const Ipv4Prefix& p : prefixes) {
+    if ((*ranges_)[static_cast<std::size_t>(ap)].overlaps(p)) ++count;
+  }
+  return count;
+}
+
+ibgp::ApOfFn PartitionScheme::mapper() const {
+  const auto ranges = ranges_;
+  return [ranges](const Ipv4Prefix& prefix) {
+    std::vector<ApId> out;
+    std::size_t i = range_containing(*ranges, prefix.first());
+    out.push_back(static_cast<ApId>(i));
+    while ((*ranges)[i].last < prefix.last()) {
+      ++i;
+      out.push_back(static_cast<ApId>(i));
+    }
+    return out;
+  };
+}
+
+}  // namespace abrr::core

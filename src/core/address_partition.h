@@ -1,0 +1,59 @@
+// Address Partitions (APs): the paper's core abstraction (§2.1).
+//
+// An AP is a contiguous address range assigned to one or more ARRs. The
+// scheme covers the whole IPv4 space with non-overlapping, contiguous
+// ranges; a prefix spanning a range boundary belongs to every AP it
+// touches and its routes are advertised to the ARRs of all of them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bgp/prefix.h"
+#include "ibgp/speaker.h"
+
+namespace abrr::core {
+
+using bgp::AddressRange;
+using bgp::Ipv4Prefix;
+using ibgp::ApId;
+
+/// A complete partitioning of the IPv4 address space into APs.
+class PartitionScheme {
+ public:
+  /// Splits the address space into `n` equal-size ranges — the
+  /// configuration used by the paper's testbed ("The address range size
+  /// for each AP is the same", §4). Requires n >= 1.
+  static PartitionScheme uniform(std::size_t n);
+
+  /// Splits so that each AP holds roughly the same number of the given
+  /// prefixes — the balancing the paper recommends ISPs apply (§2.1,
+  /// §4.1). Requires n >= 1. Prefixes spanning a boundary are counted
+  /// toward the earlier AP.
+  static PartitionScheme balanced(std::size_t n,
+                                  std::span<const Ipv4Prefix> prefixes);
+
+  std::size_t count() const { return ranges_->size(); }
+  const std::vector<AddressRange>& ranges() const { return *ranges_; }
+
+  /// APs a prefix belongs to (one, or several if it spans boundaries).
+  std::vector<ApId> aps_of(const Ipv4Prefix& prefix) const;
+
+  /// Number of the given prefixes that fall (at least partly) in `ap`.
+  std::size_t prefixes_in(ApId ap,
+                          std::span<const Ipv4Prefix> prefixes) const;
+
+  /// A copyable mapper for ibgp::SpeakerConfig::ap_of (shares the range
+  /// table, so cheap to hand to thousands of speakers).
+  ibgp::ApOfFn mapper() const;
+
+ private:
+  explicit PartitionScheme(std::vector<AddressRange> ranges);
+
+  // Shared so mapper() closures stay valid and cheap to copy.
+  std::shared_ptr<const std::vector<AddressRange>> ranges_;
+};
+
+}  // namespace abrr::core

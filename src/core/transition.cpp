@@ -1,0 +1,57 @@
+#include "core/transition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abrr::core {
+
+TransitionController::TransitionController(PartitionScheme scheme)
+    : scheme_(std::move(scheme)),
+      accepted_(std::make_shared<std::vector<bool>>(scheme_.count(), false)) {}
+
+void TransitionController::attach(ibgp::Speaker& speaker) {
+  if (speaker.config().mode != ibgp::IbgpMode::kDual) {
+    throw std::invalid_argument{"transition requires kDual speakers"};
+  }
+  const auto accepted = accepted_;
+  const auto scheme = scheme_;
+  speaker.set_abrr_acceptance([accepted, scheme](const Ipv4Prefix& prefix) {
+    // A prefix spanning several APs moves only once all of them have
+    // been cut over, so its routes always come from a single plane.
+    for (const ApId ap : scheme.aps_of(prefix)) {
+      if (!(*accepted)[static_cast<std::size_t>(ap)]) return false;
+    }
+    return true;
+  });
+  speakers_.push_back(&speaker);
+}
+
+void TransitionController::cutover(ApId ap) {
+  accepted_->at(static_cast<std::size_t>(ap)) = true;
+  refresh_all();
+}
+
+void TransitionController::rollback(ApId ap) {
+  accepted_->at(static_cast<std::size_t>(ap)) = false;
+  refresh_all();
+}
+
+bool TransitionController::is_cutover(ApId ap) const {
+  return accepted_->at(static_cast<std::size_t>(ap));
+}
+
+bool TransitionController::complete() const {
+  return std::all_of(accepted_->begin(), accepted_->end(),
+                     [](bool b) { return b; });
+}
+
+std::size_t TransitionController::cutover_count() const {
+  return static_cast<std::size_t>(
+      std::count(accepted_->begin(), accepted_->end(), true));
+}
+
+void TransitionController::refresh_all() {
+  for (ibgp::Speaker* speaker : speakers_) speaker->refresh_all();
+}
+
+}  // namespace abrr::core

@@ -1,0 +1,52 @@
+// TBRR -> ABRR incremental transition (§2.4).
+//
+// Routers run both planes (ibgp::IbgpMode::kDual) and advertise on both;
+// this controller owns the per-AP acceptance switch that decides which
+// plane's routes each prefix's decision uses. The ISP cuts over one AP at
+// a time, verifies, and proceeds; rollback is the same switch flipped
+// back.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/address_partition.h"
+#include "ibgp/speaker.h"
+
+namespace abrr::core {
+
+/// Drives the per-AP cutover across a fleet of kDual speakers.
+class TransitionController {
+ public:
+  explicit TransitionController(PartitionScheme scheme);
+
+  /// Installs the acceptance switch on a speaker and remembers it for
+  /// refreshes. The speaker must be in kDual mode.
+  void attach(ibgp::Speaker& speaker);
+
+  /// Accept ABRR routes for this AP from now on. Re-runs decisions on
+  /// every attached speaker so the change takes effect immediately.
+  void cutover(ApId ap);
+
+  /// Reverts an AP to TBRR (verification failed).
+  void rollback(ApId ap);
+
+  bool is_cutover(ApId ap) const;
+
+  /// True once every AP runs on ABRR (TBRR can then be switched off).
+  bool complete() const;
+
+  std::size_t cutover_count() const;
+
+  const PartitionScheme& scheme() const { return scheme_; }
+
+ private:
+  void refresh_all();
+
+  PartitionScheme scheme_;
+  /// Shared with every speaker's acceptance closure.
+  std::shared_ptr<std::vector<bool>> accepted_;
+  std::vector<ibgp::Speaker*> speakers_;
+};
+
+}  // namespace abrr::core

@@ -1,0 +1,165 @@
+// Experiment harness: builds a runnable AS (scheduler, network, IGP,
+// speakers wired per architecture) from a Topology, and exposes the
+// metrics the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/address_partition.h"
+#include "ibgp/speaker.h"
+#include "igp/spf.h"
+#include "net/network.h"
+#include "sim/random.h"
+#include "sim/scheduler.h"
+#include "topo/topology.h"
+#include "trace/regenerator.h"
+
+namespace abrr::harness {
+
+using bgp::Ipv4Prefix;
+using bgp::RouterId;
+
+struct TestbedOptions {
+  ibgp::IbgpMode mode = ibgp::IbgpMode::kFullMesh;
+  /// TBRR-multi (Appendix A.3) when mode covers TBRR.
+  bool multipath = false;
+  /// ABRR partitioning.
+  std::size_t num_aps = 8;
+  std::size_t arrs_per_ap = 2;
+  /// Balance APs on the given prefix set instead of uniform ranges.
+  bool balanced_aps = false;
+  /// §3.4 ablation: force client-side reduction on data-plane routers.
+  bool abrr_force_client_reduction = false;
+  bgp::DecisionConfig decision{};
+  sim::Time mrai = sim::sec(5);
+  sim::Time proc_delay = sim::msec(50);
+  sim::Time proc_per_update = sim::usec(50);
+  /// Session latency = 1ms + IGP distance x this (+ uniform jitter).
+  sim::Time latency_per_metric = sim::usec(100);
+  sim::Time latency_jitter = sim::msec(10);
+  std::uint64_t seed = 7;
+};
+
+/// Aggregate over a set of speakers (Figure 6's min/avg/max bars).
+struct Aggregate {
+  double min = 0;
+  double max = 0;
+  double avg = 0;
+};
+
+/// Counter sums used by Figure 7 and §4.2.
+struct CounterTotals {
+  std::uint64_t received = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t transmitted = 0;
+  std::uint64_t bytes = 0;
+  std::size_t speakers = 0;
+
+  double avg_received() const {
+    return speakers ? static_cast<double>(received) / speakers : 0;
+  }
+  double avg_generated() const {
+    return speakers ? static_cast<double>(generated) / speakers : 0;
+  }
+  double avg_transmitted() const {
+    return speakers ? static_cast<double>(transmitted) / speakers : 0;
+  }
+  double avg_bytes() const {
+    return speakers ? static_cast<double>(bytes) / speakers : 0;
+  }
+};
+
+class Testbed {
+ public:
+  /// Builds and wires the testbed. `prefixes` is the experiment's prefix
+  /// universe (dense indexing + AP balancing). The topology's reflector
+  /// boxes become TRRs (TBRR) and/or the first ARR nodes (ABRR); extra
+  /// pure control-plane ARR nodes are created when the partition needs
+  /// more, attached to random PoPs (ABRR placement freedom, §2.3.3).
+  Testbed(topo::Topology topology, const TestbedOptions& options,
+          std::span<const Ipv4Prefix> prefixes);
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  sim::Scheduler& scheduler() { return scheduler_; }
+  net::Network& network() { return network_; }
+  igp::SpfCache& spf() { return *spf_; }
+  const topo::Topology& topology() const { return topology_; }
+  const core::PartitionScheme* partition() const {
+    return partition_ ? &*partition_ : nullptr;
+  }
+
+  ibgp::Speaker& speaker(RouterId id) { return *speakers_.at(id); }
+  bool has_speaker(RouterId id) const { return speakers_.count(id) != 0; }
+
+  /// Every speaker with an RR role (TRRs or ARRs).
+  const std::vector<RouterId>& rr_ids() const { return rr_ids_; }
+  /// Every data-plane client.
+  const std::vector<RouterId>& client_ids() const { return client_ids_; }
+  /// All speakers.
+  const std::vector<RouterId>& all_ids() const { return all_ids_; }
+
+  /// Injection hook for the route regenerator.
+  trace::InjectFn inject_fn();
+
+  /// Runs until the event queue drains; returns false if max_events was
+  /// hit first (non-convergence).
+  bool run_to_quiescence(std::size_t max_events = 100'000'000);
+  void run_until(sim::Time deadline) { scheduler_.run_until(deadline); }
+
+  /// Zeroes every speaker's counters (e.g. after the initial table load,
+  /// so Figure 7 counts only the update phase).
+  void reset_counters();
+
+  /// Applies an IGP change (link failure, metric change) through
+  /// `mutate`, then recomputes SPF and re-runs every speaker's decision
+  /// process — the control-plane reaction to an IGP event.
+  void igp_event(const std::function<void(igp::Graph&)>& mutate);
+
+  Aggregate rr_rib_in() const;
+  Aggregate rr_rib_out() const;
+  CounterTotals rr_counters() const;
+  CounterTotals client_counters() const;
+
+  std::size_t session_count() const { return network_.session_count(); }
+
+ private:
+  void wire_full_mesh();
+  void wire_tbrr(bool dual);
+  void wire_abrr(bool dual, std::span<const Ipv4Prefix> prefixes);
+  void connect(RouterId a, RouterId b);
+  ibgp::Speaker& make_speaker(ibgp::SpeakerConfig cfg);
+
+  topo::Topology topology_;
+  TestbedOptions options_;
+  sim::Scheduler scheduler_;
+  sim::Rng rng_;
+  net::Network network_;
+  std::unique_ptr<igp::SpfCache> spf_;
+  std::optional<core::PartitionScheme> partition_;
+  ibgp::ApOfFn ap_of_;
+  std::shared_ptr<bgp::PrefixIndex> prefix_index_;
+
+  std::unordered_map<RouterId, std::unique_ptr<ibgp::Speaker>> speakers_;
+  std::vector<RouterId> rr_ids_;
+  std::vector<RouterId> client_ids_;
+  std::vector<RouterId> all_ids_;
+  /// ARR id -> managed AP (ABRR).
+  std::unordered_map<RouterId, ibgp::ApId> arr_ap_;
+
+  // Counter snapshots for reset_counters().
+  std::unordered_map<RouterId, ibgp::SpeakerCounters> baseline_;
+
+ public:
+  /// Counters minus the last reset_counters() snapshot.
+  ibgp::SpeakerCounters delta_counters(RouterId id) const;
+  /// ARR's managed AP, or -1.
+  ibgp::ApId arr_ap(RouterId id) const;
+};
+
+}  // namespace abrr::harness

@@ -1,0 +1,43 @@
+// eBGP export (Table 1, "Client -> eBGP Neighbor" rows).
+//
+// Clients advertise all their best routes to eBGP neighbors, never back
+// to the neighbor a route was learned from, with the standard eBGP
+// rewrite: own AS prepended, NEXT_HOP self, LOCAL_PREF and the
+// AS-internal reflection attributes (ORIGINATOR_ID, CLUSTER_LIST, the
+// ABRR reflected bit) stripped. MED propagation and community handling
+// are policy knobs.
+#pragma once
+
+#include <optional>
+
+#include "bgp/attributes.h"
+#include "bgp/route.h"
+
+namespace abrr::ibgp {
+
+/// Well-known community NO_EXPORT (RFC 1997): routes tagged with it must
+/// not be advertised over eBGP.
+inline constexpr bgp::Community kNoExport = 0xFFFFFF01;
+
+/// Per-neighbor eBGP export policy.
+struct EbgpExportPolicy {
+  /// Propagate our MED to this neighbor (commonly stripped at peers).
+  bool send_med = false;
+  /// Strip standard communities on export.
+  bool strip_communities = false;
+  /// Honor NO_EXPORT (RFC 1997). On by default.
+  bool honor_no_export = true;
+};
+
+/// Builds the route advertised to an eBGP neighbor from a Loc-RIB best,
+/// or nullopt when the route must not be sent:
+///   - it was learned from this very neighbor (split horizon),
+///   - the neighbor's AS already appears on the AS path (loop),
+///   - it carries NO_EXPORT and the policy honors it.
+std::optional<bgp::Route> export_to_ebgp(const bgp::Route& best,
+                                         bgp::Asn own_as,
+                                         bgp::Asn neighbor_as,
+                                         bgp::RouterId neighbor_id,
+                                         const EbgpExportPolicy& policy = {});
+
+}  // namespace abrr::ibgp

@@ -1,0 +1,692 @@
+#include "ibgp/speaker.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace abrr::ibgp {
+namespace {
+
+// Route as (re-)advertised by a client into iBGP: the path id becomes the
+// advertising client's RouterId (see bgp/types.h).
+Route client_export_copy(const Route& best, RouterId self) {
+  Route out = best;
+  out.path_id = self;
+  return out;
+}
+
+// Deduplicates a reflected set by path id (redundant RRs can deliver the
+// same client route twice via different sessions).
+void dedup_by_path_id(std::vector<Route>& routes) {
+  std::sort(routes.begin(), routes.end(), [](const Route& a, const Route& b) {
+    if (a.path_id != b.path_id) return a.path_id < b.path_id;
+    return a.learned_from < b.learned_from;
+  });
+  routes.erase(std::unique(routes.begin(), routes.end(),
+                           [](const Route& a, const Route& b) {
+                             return a.path_id == b.path_id;
+                           }),
+               routes.end());
+}
+
+}  // namespace
+
+Speaker::Speaker(SpeakerConfig config, sim::Scheduler& scheduler,
+                 net::Network& network)
+    : config_(std::move(config)), scheduler_(&scheduler), network_(&network) {
+  if (config_.id == bgp::kNoRouter) {
+    throw std::invalid_argument{"speaker needs a non-zero id"};
+  }
+  if ((config_.mode == IbgpMode::kAbrr || config_.mode == IbgpMode::kDual ||
+       !config_.managed_aps.empty()) &&
+      !config_.ap_of) {
+    throw std::invalid_argument{"ABRR speaker needs an ap_of mapping"};
+  }
+}
+
+void Speaker::add_peer(const PeerInfo& peer) {
+  if (peer.id == config_.id) throw std::invalid_argument{"peer == self"};
+  auto [it, inserted] = peers_.emplace(peer.id, PeerState{});
+  if (inserted) {
+    it->second.info = peer;
+  } else {
+    // Roles are additive: re-adding a peer merges the new roles into the
+    // existing ones (an ARR pair wired from both ends ends up with both
+    // the client and the reflector relationship).
+    PeerInfo& existing = it->second.info;
+    existing.rr_client |= peer.rr_client;
+    existing.rr_peer |= peer.rr_peer;
+    existing.reflector_tbrr |= peer.reflector_tbrr;
+    for (const ApId ap : peer.reflector_for) {
+      if (std::find(existing.reflector_for.begin(),
+                    existing.reflector_for.end(),
+                    ap) == existing.reflector_for.end()) {
+        existing.reflector_for.push_back(ap);
+      }
+    }
+  }
+  const PeerInfo& merged = it->second.info;
+
+  const auto join = [&](int key) {
+    auto& g = group(key);
+    if (std::find(g.members.begin(), g.members.end(), merged.id) ==
+        g.members.end()) {
+      g.members.push_back(merged.id);
+    }
+  };
+
+  // Group membership is role-driven so that kDual speakers participate
+  // in both planes at once.
+  if (config_.mode == IbgpMode::kFullMesh) join(kGroupMesh);
+  if (config_.cluster_id != 0) {
+    if (merged.rr_client) join(kGroupClients);
+    if (merged.rr_peer) join(kGroupRrPeers);
+  }
+  if (merged.reflector_tbrr) join(kGroupUplink);
+  if (merged.rr_client) {
+    for (const ApId ap : config_.managed_aps) join(arr_group(ap));
+  }
+  for (const ApId ap : merged.reflector_for) join(client_group(ap));
+}
+
+void Speaker::start() {
+  network_->register_endpoint(
+      config_.id,
+      [this](RouterId from, const bgp::UpdateMessage& msg) {
+        receive(from, msg);
+      });
+}
+
+void Speaker::receive(RouterId from, const bgp::UpdateMessage& msg) {
+  ++counters_.updates_received;
+  counters_.routes_received += msg.announce.size();
+  enqueue(Incoming{from, msg, /*ebgp=*/false, /*withdraw_ebgp=*/false});
+}
+
+void Speaker::enqueue(Incoming incoming) {
+  input_queue_.push_back(std::move(incoming));
+  if (!drain_scheduled_) {
+    drain_scheduled_ = true;
+    const sim::Time at = std::max(scheduler_->now() + config_.proc_delay,
+                                  busy_until_ + config_.proc_delay);
+    scheduler_->schedule_at(at, [this] { drain_input(); });
+  }
+}
+
+void Speaker::drain_input() {
+  drain_scheduled_ = false;
+  std::deque<Incoming> batch;
+  batch.swap(input_queue_);
+  busy_until_ =
+      std::max(busy_until_, scheduler_->now()) +
+      static_cast<sim::Time>(batch.size()) * config_.proc_per_update;
+
+  std::vector<Ipv4Prefix> dirty;
+  for (const Incoming& incoming : batch) apply(incoming, dirty);
+
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  for (const Ipv4Prefix& prefix : dirty) run_pipeline(prefix);
+}
+
+bool Speaker::accept_route(const Route& route, const PeerState*) const {
+  if (route.attrs->originator_id &&
+      *route.attrs->originator_id == config_.id) {
+    return false;  // RFC 4456: our own route came back
+  }
+  if (config_.cluster_id != 0) {
+    const auto& cl = route.attrs->cluster_list;
+    if (std::find(cl.begin(), cl.end(), config_.cluster_id) != cl.end()) {
+      return false;  // RFC 4456: cluster loop
+    }
+  }
+  return true;
+}
+
+void Speaker::apply(const Incoming& incoming, std::vector<Ipv4Prefix>& dirty) {
+  const Ipv4Prefix prefix = incoming.msg.prefix;
+
+  if (incoming.ebgp) {
+    // eBGP injection / withdrawal, already policy-filtered.
+    adj_rib_in_.withdraw_prefix(incoming.from, prefix);
+    if (!incoming.withdraw_ebgp) {
+      for (const Route& r : incoming.msg.announce) adj_rib_in_.announce(r);
+    }
+    dirty.push_back(prefix);
+    return;
+  }
+
+  const auto pit = peers_.find(incoming.from);
+  if (pit == peers_.end()) return;  // stale message from a removed peer
+  const PeerState& peer = pit->second;
+
+  // Is this message an ABRR reflection towards us (sender is our ARR for
+  // one of the prefix's APs)?
+  bool from_abrr_reflector = false;
+  if (!peer.info.reflector_for.empty()) {
+    const std::vector<ApId> aps = aps_of(prefix);
+    for (const ApId ap : peer.info.reflector_for) {
+      if (std::find(aps.begin(), aps.end(), ap) != aps.end()) {
+        from_abrr_reflector = true;
+        break;
+      }
+    }
+  }
+
+  // Prepare received copies: stamp who we learned them from.
+  std::vector<Route> received;
+  received.reserve(incoming.msg.announce.size());
+  for (Route r : incoming.msg.announce) {
+    r.learned_from = incoming.from;
+    r.via = bgp::LearnedVia::kIbgp;
+    if (!accept_route(r, &peer)) {
+      ++counters_.loops_suppressed;
+      continue;
+    }
+    received.push_back(std::move(r));
+  }
+
+  if (from_abrr_reflector) {
+    // §3.4 storage: pure control-plane speakers (ARRs in their client
+    // role) reduce the reflected best-AS-level set to their own best
+    // and store one entry per redundant ARR session — they own no eBGP
+    // routes, so the reduction is lossless for them (Appendix A's
+    // unmanaged-route accounting). Data-plane border routers keep the
+    // whole set by default: a reflected low-MED route must stay visible
+    // to keep suppressing the router's own higher-MED route from the
+    // same neighbor AS (deterministic-MED group elimination), which is
+    // what makes ABRR match full-mesh exactly.
+    const bool reduce =
+        !config_.data_plane || config_.abrr_force_client_reduction;
+    adj_rib_in_.withdraw_prefix(incoming.from, prefix);
+    if (!received.empty()) {
+      if (reduce) {
+        const Route best = bgp::select_best(received, config_.id, igp_,
+                                            config_.decision);
+        if (best.valid()) adj_rib_in_.announce(best);
+      } else {
+        for (const Route& r : received) adj_rib_in_.announce(r);
+      }
+    }
+    dirty.push_back(prefix);
+    return;
+  }
+
+  if (!config_.managed_aps.empty() && config_.cluster_id == 0 &&
+      peer.info.rr_client && !manages_prefix(prefix)) {
+    // A client sent us a route outside our Address Partitions: a
+    // misconfiguration (§2.3.2). Never absorb it into the reflection
+    // state.
+    ++counters_.misdirected;
+    return;
+  }
+
+  // Replacement semantics per (sender, prefix): store the announced set.
+  // Covers client->ARR, client->TRR, TRR->TRR, full-mesh, and the
+  // multi-path TBRR full sets (which clients/TRRs store whole).
+  if (peer.info.rr_client && manages_prefix(prefix)) {
+    // §2.3.2: a "client" handing us an already-reflected route means the
+    // ARR/client configuration is inconsistent somewhere. The reflected
+    // bit keeps such routes out of re-reflection (enforced again in
+    // reflect_abrr); surface the event for operators.
+    for (const Route& r : received) {
+      if (r.attrs->has_ext_community(bgp::kAbrrReflectedCommunity)) {
+        ++counters_.loops_suppressed;
+      }
+    }
+  }
+  adj_rib_in_.withdraw_prefix(incoming.from, prefix);
+  for (const Route& r : received) adj_rib_in_.announce(r);
+  dirty.push_back(prefix);
+}
+
+void Speaker::run_pipeline(const Ipv4Prefix& prefix) {
+  const std::vector<Route> candidates = adj_rib_in_.routes_for(prefix);
+
+  // Every speaker (including control-plane RRs) maintains a Loc-RIB;
+  // only data-plane clients export their best into iBGP.
+  decide_local(prefix, candidates);
+  if (config_.cluster_id != 0) reflect_tbrr(prefix, candidates);
+  if (!config_.managed_aps.empty() && manages_prefix(prefix)) {
+    reflect_abrr(prefix, candidates);
+  }
+}
+
+void Speaker::refresh_all() {
+  std::unordered_set<Ipv4Prefix> seen;
+  adj_rib_in_.for_each([&](const Route& r) { seen.insert(r.prefix); });
+  loc_rib_.for_each([&](const Route& r) { seen.insert(r.prefix); });
+  for (const Ipv4Prefix& prefix : seen) run_pipeline(prefix);
+}
+
+void Speaker::decide_local(const Ipv4Prefix& prefix,
+                           const std::vector<Route>& candidates) {
+  const std::vector<Route> accepted = filter_accepted(prefix, candidates);
+  const Route best =
+      bgp::select_best(accepted, config_.id, igp_, config_.decision);
+  bool changed;
+  if (best.valid()) {
+    changed = loc_rib_.install(best);
+  } else {
+    changed = loc_rib_.remove(prefix);
+  }
+  if (!changed) return;
+  ++counters_.best_changes;
+  if (best_change_hook_) {
+    best_change_hook_(prefix, best.valid() ? &best : nullptr);
+  }
+  if (config_.data_plane) {
+    export_own_best(prefix, best.valid() ? &best : nullptr);
+    export_ebgp(prefix, best.valid() ? &best : nullptr);
+  }
+}
+
+void Speaker::export_ebgp(const Ipv4Prefix& prefix, const Route* best) {
+  for (auto& [neighbor, state] : ebgp_neighbors_) {
+    std::optional<Route> out;
+    if (best != nullptr) {
+      out = export_to_ebgp(*best, config_.asn, state.asn, neighbor,
+                           state.policy);
+    }
+    const std::uint32_t h =
+        out ? bgp::route_set_hash({*out}) : 0;
+    auto& last = state.advertised[prefix];
+    if (h == last) continue;
+    if (h == 0) state.advertised.erase(prefix); else last = h;
+    ++counters_.ebgp_updates_sent;
+    if (ebgp_send_hook_) ebgp_send_hook_(neighbor, prefix, out);
+  }
+}
+
+void Speaker::add_ebgp_neighbor(RouterId neighbor, Asn neighbor_as,
+                                const EbgpExportPolicy& policy) {
+  EbgpNeighborState state;
+  state.asn = neighbor_as;
+  state.policy = policy;
+  ebgp_neighbors_.emplace(neighbor, std::move(state));
+  // Initial table sync: everything currently best goes out.
+  loc_rib_.for_each([&](const Route& r) { export_ebgp(r.prefix, &r); });
+}
+
+void Speaker::session_down(RouterId peer) {
+  const std::vector<Ipv4Prefix> affected = adj_rib_in_.withdraw_peer(peer);
+  const auto pit = peers_.find(peer);
+  if (pit != peers_.end()) {
+    PeerState& ps = pit->second;
+    if (ps.mrai_armed) {
+      scheduler_->cancel(ps.mrai_timer);
+      ps.mrai_armed = false;
+    }
+    ps.pending.clear();
+    ps.pending_keys.clear();
+    // The peer lost our state with the TCP session.
+    ps.sent_hash_map.clear();
+    std::fill(ps.sent_hash_flat.begin(), ps.sent_hash_flat.end(), 0);
+  }
+  for (const Ipv4Prefix& prefix : affected) run_pipeline(prefix);
+}
+
+void Speaker::session_up(RouterId peer) {
+  const auto pit = peers_.find(peer);
+  if (pit == peers_.end()) return;
+  for (const auto& [key, g] : groups_) {
+    if (std::find(g.members.begin(), g.members.end(), peer) ==
+        g.members.end()) {
+      continue;
+    }
+    g.rib.for_each(
+        [&, k = key](const Ipv4Prefix& prefix, const std::vector<Route>&) {
+          schedule_send(peer, k, prefix);
+        });
+  }
+}
+
+void Speaker::export_own_best(const Ipv4Prefix& prefix, const Route* best) {
+  // Table 1, client rows: advertise the best route into iBGP iff it is
+  // eBGP-learned or locally originated; otherwise advertise nothing
+  // (withdraw any previous advertisement).
+  std::vector<Route> out;
+  if (best != nullptr && best->via != bgp::LearnedVia::kIbgp) {
+    out.push_back(client_export_copy(*best, config_.id));
+  }
+
+  // Role-driven: a kDual client advertises on every plane it has
+  // sessions for (§2.4: routers run both TBRR and ABRR).
+  if (config_.mode == IbgpMode::kFullMesh) {
+    set_group_routes(kGroupMesh, prefix, std::move(out));
+    return;
+  }
+  // Plain clients advertise up to their TRRs; a TRR's own advertisement
+  // is folded into its reflection logic instead.
+  if (groups_.count(kGroupUplink) != 0 && config_.cluster_id == 0) {
+    set_group_routes(kGroupUplink, prefix, out);
+  }
+  for (const ApId ap : aps_of(prefix)) {
+    if (manages_ap(ap)) continue;  // internal hand-off to our ARR role
+    if (groups_.count(client_group(ap)) != 0) {
+      set_group_routes(client_group(ap), prefix, out);
+    }
+  }
+}
+
+bool Speaker::uses_abrr(const Ipv4Prefix& prefix) const {
+  switch (config_.mode) {
+    case IbgpMode::kAbrr:
+      return true;
+    case IbgpMode::kDual:
+      return accept_abrr_ && accept_abrr_(prefix);
+    default:
+      return false;
+  }
+}
+
+std::vector<Route> Speaker::filter_accepted(
+    const Ipv4Prefix& prefix, const std::vector<Route>& in) const {
+  if (config_.mode != IbgpMode::kDual) return in;
+  const bool abrr = uses_abrr(prefix);
+  std::vector<Route> out;
+  out.reserve(in.size());
+  for (const Route& r : in) {
+    if (r.via != bgp::LearnedVia::kIbgp) {
+      out.push_back(r);
+      continue;
+    }
+    const auto it = peers_.find(r.learned_from);
+    if (it == peers_.end()) continue;
+    const PeerInfo& info = it->second.info;
+    const bool from_abrr_plane = !info.reflector_for.empty();
+    const bool from_tbrr_plane = info.reflector_tbrr || info.rr_peer;
+    if (from_abrr_plane && !abrr) continue;
+    if (from_tbrr_plane && abrr) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void Speaker::reflect_tbrr(const Ipv4Prefix& prefix,
+                           const std::vector<Route>& candidates) {
+  // Reflection copy: append our CLUSTER_ID and pin ORIGINATOR_ID when
+  // reflecting an iBGP-learned route (RFC 4456).
+  const auto reflect_copy = [&](const Route& r) {
+    Route out = r;
+    if (r.via == bgp::LearnedVia::kIbgp) {
+      out.attrs = bgp::with_attrs(r.attrs, [&](bgp::PathAttrs& a) {
+        if (!a.originator_id) a.originator_id = r.learned_from;
+        a.cluster_list.insert(a.cluster_list.begin(), config_.cluster_id);
+      });
+    }
+    return out;
+  };
+  const auto learned_from_client = [&](const Route& r) {
+    if (r.via != bgp::LearnedVia::kIbgp) return true;  // own eBGP/local
+    const auto it = peers_.find(r.learned_from);
+    return it != peers_.end() && it->second.info.rr_client;
+  };
+
+  if (!config_.multipath) {
+    const Route best =
+        bgp::select_best(candidates, config_.id, igp_, config_.decision);
+    std::vector<Route> to_clients;
+    std::vector<Route> to_rrs;
+    if (best.valid()) {
+      const Route reflected = reflect_copy(best);
+      to_clients.push_back(reflected);
+      // RFC 4456: client routes (and our own) go to everyone; routes
+      // learned from other TRRs (or from our parents in a multi-level
+      // hierarchy) are reflected to clients only.
+      if (learned_from_client(best)) to_rrs.push_back(reflected);
+    }
+    set_group_routes(kGroupClients, prefix, std::move(to_clients));
+    set_group_routes(kGroupRrPeers, prefix, to_rrs);
+    // Multi-level hierarchy: a mid-level TRR is itself a client of its
+    // parents and advertises its client-learned best upward.
+    if (groups_.count(kGroupUplink) != 0) {
+      set_group_routes(kGroupUplink, prefix, std::move(to_rrs));
+    }
+    return;
+  }
+
+  // Multi-path TBRR (Appendix A.3): maintain and advertise all best
+  // AS-level routes. Client-learned survivors go to both groups; the
+  // full set goes to clients.
+  std::vector<Route> all = bgp::best_as_level_routes(candidates,
+                                                     config_.decision);
+  std::vector<Route> to_clients;
+  std::vector<Route> to_rrs;
+  for (const Route& r : all) {
+    const Route reflected = reflect_copy(r);
+    to_clients.push_back(reflected);
+    if (learned_from_client(r)) to_rrs.push_back(reflected);
+  }
+  dedup_by_path_id(to_clients);
+  dedup_by_path_id(to_rrs);
+  set_group_routes(kGroupClients, prefix, std::move(to_clients));
+  set_group_routes(kGroupRrPeers, prefix, to_rrs);
+  if (groups_.count(kGroupUplink) != 0) {
+    set_group_routes(kGroupUplink, prefix, std::move(to_rrs));
+  }
+}
+
+void Speaker::reflect_abrr(const Ipv4Prefix& prefix,
+                           const std::vector<Route>& candidates) {
+  // Eligible inputs to the ARR role: client advertisements that have not
+  // been reflected before (§2.3.2 single-bit loop prevention), plus our
+  // own best when we are a data-plane router whose best is other-learned
+  // (the internal client->ARR hand-off of Figure 2).
+  std::vector<Route> eligible;
+  for (const Route& r : candidates) {
+    if (r.via != bgp::LearnedVia::kIbgp) continue;  // own routes added below
+    if (r.attrs->has_ext_community(bgp::kAbrrReflectedCommunity)) continue;
+    const auto it = peers_.find(r.learned_from);
+    if (it == peers_.end() || !it->second.info.rr_client) continue;
+    eligible.push_back(r);
+  }
+  if (config_.data_plane) {
+    const Route* own = loc_rib_.best(prefix);
+    if (own != nullptr && own->via != bgp::LearnedVia::kIbgp) {
+      eligible.push_back(client_export_copy(*own, config_.id));
+    }
+  }
+
+  std::vector<Route> set =
+      bgp::best_as_level_routes(eligible, config_.decision);
+  for (Route& r : set) {
+    if (!r.attrs->has_ext_community(bgp::kAbrrReflectedCommunity)) {
+      r.attrs = bgp::with_attrs(r.attrs, [&](bgp::PathAttrs& a) {
+        a.ext_communities.push_back(bgp::kAbrrReflectedCommunity);
+        if (!a.originator_id) a.originator_id = r.path_id;
+      });
+    }
+  }
+  dedup_by_path_id(set);
+
+  for (const ApId ap : aps_of(prefix)) {
+    if (manages_ap(ap)) set_group_routes(arr_group(ap), prefix, set);
+  }
+}
+
+void Speaker::set_group_routes(int key, const Ipv4Prefix& prefix,
+                               std::vector<Route> routes) {
+  OutGroup& g = group(key);
+  const auto msg = g.rib.set(prefix, std::move(routes), /*full_set=*/true);
+  if (!msg) return;
+  ++counters_.updates_generated;
+  if (key == kGroupClients || (key >= 0 && key % 2 == 0)) {
+    ++counters_.generated_to_clients;  // reflections toward clients
+  } else if (key == kGroupRrPeers) {
+    ++counters_.generated_to_rrs;
+  }
+  for (const RouterId member : g.members) {
+    schedule_send(member, key, prefix);
+  }
+}
+
+void Speaker::schedule_send(RouterId peer, int key, const Ipv4Prefix& prefix) {
+  PeerState& ps = peers_.at(peer);
+  if (config_.mrai <= 0) {
+    transmit(ps, key, prefix);
+    return;
+  }
+  if (!ps.mrai_armed) {
+    transmit(ps, key, prefix);
+    ps.mrai_armed = true;
+    ps.mrai_timer = scheduler_->schedule_after(
+        config_.mrai, [this, peer] { flush_peer(peer); });
+    return;
+  }
+  const std::uint64_t pkey =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key + 8)) << 40) ^
+      std::hash<Ipv4Prefix>{}(prefix);
+  if (ps.pending_keys.insert(pkey).second) {
+    ps.pending.emplace_back(key, prefix);
+  }
+}
+
+void Speaker::flush_peer(RouterId peer) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  PeerState& ps = it->second;
+  if (ps.pending.empty()) {
+    ps.mrai_armed = false;
+    return;
+  }
+  std::vector<std::pair<int, Ipv4Prefix>> batch;
+  batch.swap(ps.pending);
+  ps.pending_keys.clear();
+  for (const auto& [key, prefix] : batch) transmit(ps, key, prefix);
+  ps.mrai_timer = scheduler_->schedule_after(
+      config_.mrai, [this, peer] { flush_peer(peer); });
+}
+
+void Speaker::transmit(PeerState& ps, int key, const Ipv4Prefix& prefix) {
+  const OutGroup& g = group(key);
+  const std::vector<Route>* current = g.rib.get(prefix);
+
+  // "Not returned to sender": drop routes this peer itself advertised.
+  std::vector<Route> target;
+  if (current != nullptr) {
+    target.reserve(current->size());
+    for (const Route& r : *current) {
+      if (r.learned_from == ps.info.id) continue;
+      if (r.attrs->originator_id && *r.attrs->originator_id == ps.info.id) {
+        continue;
+      }
+      target.push_back(r);
+    }
+  }
+
+  const std::uint32_t h = target.empty() ? 0 : bgp::route_set_hash(target);
+  std::uint32_t& last = sent_hash(ps, key, prefix);
+  if (h == last) return;  // peer already has exactly this
+  last = h;
+
+  bgp::UpdateMessage msg;
+  msg.prefix = prefix;
+  msg.full_set = true;
+  msg.announce = std::move(target);
+  ++counters_.updates_transmitted;
+  counters_.routes_transmitted += msg.announce.size();
+  counters_.bytes_transmitted += msg.wire_size();
+  network_->send(config_.id, ps.info.id, std::move(msg));
+}
+
+std::uint32_t& Speaker::sent_hash(PeerState& ps, int key,
+                                  const Ipv4Prefix& prefix) {
+  if (prefix_index_) {
+    const auto pid = prefix_index_->id_of(prefix);
+    if (pid) {
+      const std::uint32_t slot = group_slot_.at(key);
+      const std::size_t stride = prefix_index_->size();
+      const std::size_t need = (slot + 1) * stride;
+      if (ps.sent_hash_flat.size() < need) ps.sent_hash_flat.resize(need, 0);
+      return ps.sent_hash_flat[slot * stride + *pid];
+    }
+  }
+  const std::uint64_t mkey =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key + 8)) << 40) ^
+      std::hash<Ipv4Prefix>{}(prefix);
+  return ps.sent_hash_map[mkey];
+}
+
+void Speaker::inject_ebgp(RouterId neighbor, Route route) {
+  route.learned_from = neighbor;
+  route.via = bgp::LearnedVia::kEbgp;
+  route.path_id = 0;
+  if (route.attrs->next_hop != config_.id) {
+    // next-hop-self on the iBGP edge (§ Design: types.h).
+    route.attrs = bgp::with_attrs(
+        route.attrs, [&](bgp::PathAttrs& a) { a.next_hop = config_.id; });
+  }
+  if (import_) {
+    const auto filtered = import_(route);
+    if (!filtered) return;
+    route = *filtered;
+    route.learned_from = neighbor;
+    route.via = bgp::LearnedVia::kEbgp;
+  }
+  bgp::UpdateMessage msg;
+  msg.prefix = route.prefix;
+  msg.announce.push_back(std::move(route));
+  enqueue(Incoming{neighbor, std::move(msg), /*ebgp=*/true,
+                   /*withdraw_ebgp=*/false});
+}
+
+void Speaker::withdraw_ebgp(RouterId neighbor, const Ipv4Prefix& prefix) {
+  bgp::UpdateMessage msg;
+  msg.prefix = prefix;
+  enqueue(Incoming{neighbor, std::move(msg), /*ebgp=*/true,
+                   /*withdraw_ebgp=*/true});
+}
+
+void Speaker::originate(Route route) {
+  route.learned_from = bgp::kNoRouter;
+  route.via = bgp::LearnedVia::kLocal;
+  route.path_id = 0;
+  if (route.attrs->next_hop != config_.id) {
+    route.attrs = bgp::with_attrs(
+        route.attrs, [&](bgp::PathAttrs& a) { a.next_hop = config_.id; });
+  }
+  bgp::UpdateMessage msg;
+  msg.prefix = route.prefix;
+  msg.announce.push_back(std::move(route));
+  enqueue(Incoming{bgp::kNoRouter, std::move(msg), /*ebgp=*/true,
+                   /*withdraw_ebgp=*/false});
+}
+
+std::size_t Speaker::rib_out_size() const {
+  std::size_t total = 0;
+  for (const auto& [key, g] : groups_) total += g.rib.size();
+  return total;
+}
+
+const bgp::AdjRibOut* Speaker::out_group(int key) const {
+  const auto it = groups_.find(key);
+  return it == groups_.end() ? nullptr : &it->second.rib;
+}
+
+Speaker::OutGroup& Speaker::group(int key) {
+  const auto [it, inserted] = groups_.emplace(key, OutGroup{});
+  if (inserted) {
+    group_slot_.emplace(key, static_cast<std::uint32_t>(group_slot_.size()));
+  }
+  return it->second;
+}
+
+std::vector<ApId> Speaker::aps_of(const Ipv4Prefix& prefix) const {
+  if (!config_.ap_of) return {};
+  return config_.ap_of(prefix);
+}
+
+bool Speaker::manages_ap(ApId ap) const {
+  return std::find(config_.managed_aps.begin(), config_.managed_aps.end(),
+                   ap) != config_.managed_aps.end();
+}
+
+bool Speaker::manages_prefix(const Ipv4Prefix& prefix) const {
+  for (const ApId ap : aps_of(prefix)) {
+    if (manages_ap(ap)) return true;
+  }
+  return false;
+}
+
+}  // namespace abrr::ibgp

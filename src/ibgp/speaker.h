@@ -1,0 +1,344 @@
+// The BGP speaker: one per router, implementing the client, TRR and ARR
+// roles for full-mesh iBGP, Topology-Based Route Reflection (single- and
+// multi-path) and Address-Based Route Reflection.
+//
+// Advertisement rules follow Table 1 of the paper exactly; see the
+// per-role comments in speaker.cpp. All iBGP transmissions use per-sender
+// replacement semantics: an UpdateMessage is the complete new set of
+// routes the sender advertises for that prefix (full_set), which for
+// single-path modes is just a set of size one and models BGP's implicit
+// per-prefix withdraw, and for ARRs models add-paths conveying the whole
+// best-AS-level set with each update (§2.1, §3.4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/decision.h"
+#include "bgp/prefix_index.h"
+#include "bgp/rib.h"
+#include "bgp/route.h"
+#include "bgp/update.h"
+#include "ibgp/ebgp_export.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+
+namespace abrr::ibgp {
+
+using bgp::Asn;
+using bgp::Ipv4Prefix;
+using bgp::PathId;
+using bgp::Route;
+using bgp::RouterId;
+
+/// Which iBGP architecture the AS runs. kDual runs TBRR and ABRR side by
+/// side with a per-prefix acceptance switch, enabling the §2.4
+/// incremental transition.
+enum class IbgpMode : std::uint8_t { kFullMesh, kTbrr, kAbrr, kDual };
+
+/// Address-partition identifier (index into the deployment's AP table).
+using ApId = std::int32_t;
+
+/// Maps a prefix to the AP(s) it belongs to. A prefix spanning several
+/// APs maps to all of them (§2.1). Supplied by core::ApMapper; the
+/// speaker only needs the function.
+using ApOfFn = std::function<std::vector<ApId>(const Ipv4Prefix&)>;
+
+/// One iBGP peer as seen from this speaker. A peer can hold several
+/// roles at once (e.g. in ABRR, router X can be both my client — I
+/// reflect my AP to X — and my reflector for another AP).
+struct PeerInfo {
+  RouterId id = bgp::kNoRouter;
+  /// I am an RR and this peer is my client: I reflect to it.
+  bool rr_client = false;
+  /// TBRR: peer is a fellow TRR (TRR full mesh).
+  bool rr_peer = false;
+  /// TBRR: peer is my reflector (I am its client).
+  bool reflector_tbrr = false;
+  /// ABRR: peer is my reflector for these APs.
+  std::vector<ApId> reflector_for;
+};
+
+/// Per-speaker configuration.
+struct SpeakerConfig {
+  RouterId id = bgp::kNoRouter;
+  Asn asn = 0;
+  IbgpMode mode = IbgpMode::kFullMesh;
+  bgp::DecisionConfig decision{};
+
+  /// Has the client role: holds a Loc-RIB and originates/consumes routes.
+  /// Pure control-plane RRs set this false for the forwarding plane but
+  /// still maintain their table (the paper's ARRs keep unmanaged routes
+  /// "in their role as a client").
+  bool data_plane = true;
+
+  /// TBRR: non-zero marks this speaker a TRR with that CLUSTER_ID.
+  /// Redundant TRRs of one cluster share the id (RFC 4456 redundancy).
+  std::uint32_t cluster_id = 0;
+  /// TBRR-multi: TRRs maintain and advertise all best AS-level routes
+  /// (the paper's fairer multi-path comparison, Appendix A.3).
+  bool multipath = false;
+
+  /// ABRR: the APs this speaker is an ARR for (empty = pure client).
+  std::vector<ApId> managed_aps;
+  /// ABRR: prefix -> APs mapping (required in ABRR mode).
+  ApOfFn ap_of;
+  /// ABRR §3.4 ablation: force data-plane clients to reduce each
+  /// received best-AS-level set to a single stored route per ARR
+  /// session. Control-plane speakers always reduce (safe: they have no
+  /// eBGP routes of their own). Forcing it on border routers saves
+  /// memory but discards the MED-kill witnesses a client needs to
+  /// suppress its own higher-MED routes, so strict full-mesh
+  /// equivalence can be lost — see bench/ablation_client_reduction.
+  bool abrr_force_client_reduction = false;
+
+  /// Minimum Route Advertisement Interval towards iBGP peers (§3.5);
+  /// 0 disables MRAI.
+  sim::Time mrai = sim::sec(5);
+  /// Input batch window: received updates are queued and processed
+  /// together after this delay (models the BGP process scheduling that
+  /// lets ARRs coalesce a routing event's client updates, §4.2).
+  sim::Time proc_delay = sim::msec(50);
+  /// Per-update processing cost added to the speaker's busy time.
+  sim::Time proc_per_update = sim::usec(50);
+};
+
+/// Monotonic per-speaker counters (the paper's §4.2 metrics).
+struct SpeakerCounters {
+  std::uint64_t updates_received = 0;     // messages received
+  std::uint64_t routes_received = 0;      // routes inside those messages
+  std::uint64_t updates_generated = 0;    // Adj-RIB-Out (peer-group) changes
+  std::uint64_t generated_to_clients = 0;  // ...towards client groups
+  std::uint64_t generated_to_rrs = 0;      // ...towards the TRR mesh
+  std::uint64_t updates_transmitted = 0;  // messages sent
+  std::uint64_t bytes_transmitted = 0;
+  std::uint64_t routes_transmitted = 0;
+  std::uint64_t loops_suppressed = 0;     // reflected-bit / cluster-list drops
+  std::uint64_t misdirected = 0;          // client routes outside our APs
+  std::uint64_t ebgp_updates_sent = 0;    // announce/withdraw to eBGP
+  std::uint64_t best_changes = 0;         // Loc-RIB best flips
+};
+
+/// A BGP speaker attached to a Network and a Scheduler.
+class Speaker {
+ public:
+  Speaker(SpeakerConfig config, sim::Scheduler& scheduler,
+          net::Network& network);
+
+  Speaker(const Speaker&) = delete;
+  Speaker& operator=(const Speaker&) = delete;
+
+  const SpeakerConfig& config() const { return config_; }
+  RouterId id() const { return config_.id; }
+  bool is_rr() const {
+    return config_.cluster_id != 0 || !config_.managed_aps.empty();
+  }
+
+  /// Adds an iBGP peer (the Network session must be connected already).
+  void add_peer(const PeerInfo& peer);
+
+  /// IGP distance oracle for decision step 6 (default: flat metric 0).
+  void set_igp(bgp::IgpDistanceFn igp) { igp_ = std::move(igp); }
+
+  /// Import policy applied to eBGP routes before they enter the RIB
+  /// (returns nullopt to reject). Policies live at clients (§2.1).
+  using ImportPolicy = std::function<std::optional<Route>(const Route&)>;
+  void set_import_policy(ImportPolicy policy) { import_ = std::move(policy); }
+
+  /// Shared dense prefix numbering enabling flat per-peer state.
+  void set_prefix_index(std::shared_ptr<const bgp::PrefixIndex> index) {
+    prefix_index_ = std::move(index);
+  }
+
+  /// §2.4 transition switch (kDual mode): returns true when the best-path
+  /// decision for this prefix should use routes learned from ABRR (and
+  /// ignore TBRR reflections), false for the opposite. Advertisement
+  /// continues on both planes regardless. May be changed at runtime; call
+  /// refresh_all() afterwards to re-run decisions.
+  void set_abrr_acceptance(std::function<bool(const Ipv4Prefix&)> accept) {
+    accept_abrr_ = std::move(accept);
+  }
+
+  /// Re-runs the decision pipeline for every known prefix (after an
+  /// acceptance flip or IGP change).
+  void refresh_all();
+
+  /// Observer invoked whenever the Loc-RIB best for a prefix changes
+  /// (nullptr route = withdrawn). Used by the oscillation monitor.
+  using BestChangeHook = std::function<void(const Ipv4Prefix&, const Route*)>;
+  void set_best_change_hook(BestChangeHook hook) {
+    best_change_hook_ = std::move(hook);
+  }
+
+  /// Registers the receive endpoint with the network. Call after wiring.
+  void start();
+
+  /// Injects an eBGP-learned route (from the route regenerator). The
+  /// speaker applies next-hop-self and the import policy. `neighbor`
+  /// identifies the eBGP session (use ids disjoint from RouterIds).
+  void inject_ebgp(RouterId neighbor, Route route);
+
+  /// Withdraws the eBGP route previously injected for (neighbor, prefix).
+  void withdraw_ebgp(RouterId neighbor, const Ipv4Prefix& prefix);
+
+  /// Locally originates a route (static/aggregate).
+  void originate(Route route);
+
+  // --- eBGP neighbors (Table 1: Client -> eBGP Neighbor) ---------------
+
+  /// Registers an eBGP neighbor for export. Routes learned FROM a
+  /// neighbor (inject_ebgp) do not require registration; registration
+  /// controls what we advertise TO it.
+  void add_ebgp_neighbor(RouterId neighbor, Asn neighbor_as,
+                         const EbgpExportPolicy& policy = {});
+
+  /// Observer for routes advertised/withdrawn to eBGP neighbors
+  /// (our neighbors are trace stubs, so delivery is observational).
+  using EbgpSendHook = std::function<void(
+      RouterId neighbor, const Ipv4Prefix&, const std::optional<Route>&)>;
+  void set_ebgp_send_hook(EbgpSendHook hook) {
+    ebgp_send_hook_ = std::move(hook);
+  }
+
+  // --- session lifecycle ------------------------------------------------
+
+  /// An iBGP peer's or eBGP neighbor's session dropped: purge every
+  /// route learned from it and re-run decisions (bulk withdraw).
+  void session_down(RouterId peer);
+
+  /// An iBGP session (re-)established: replay the full relevant
+  /// Adj-RIB-Out state toward the peer (BGP initial table sync).
+  void session_up(RouterId peer);
+
+  // --- Introspection ----------------------------------------------------
+
+  const bgp::LocRib& loc_rib() const { return loc_rib_; }
+  const bgp::AdjRibIn& adj_rib_in() const { return adj_rib_in_; }
+  std::size_t rib_in_size() const { return adj_rib_in_.size(); }
+  /// Total Adj-RIB-Out entries over all peer groups (§3.2 metric).
+  std::size_t rib_out_size() const;
+  const SpeakerCounters& counters() const { return counters_; }
+  std::size_t peer_count() const { return peers_.size(); }
+
+  /// The advertised set of one peer group (testing); group keys are
+  /// kGroupClients / kGroupRrPeers / ap ids (ABRR).
+  const bgp::AdjRibOut* out_group(int group) const;
+
+  /// Peer-group keys.
+  static constexpr int kGroupClients = -1;   // RR -> clients (TBRR)
+  static constexpr int kGroupRrPeers = -2;   // TRR -> TRRs
+  static constexpr int kGroupMesh = -3;      // full-mesh -> everyone
+  static constexpr int kGroupUplink = -4;    // TBRR client -> its TRRs
+  // ABRR groups: ARR->clients for AP a is group (2*a),
+  //              client->ARRs of AP a is group (2*a + 1).
+  static int arr_group(ApId ap) { return 2 * ap; }
+  static int client_group(ApId ap) { return 2 * ap + 1; }
+
+ private:
+  struct OutGroup {
+    bgp::AdjRibOut rib;
+    std::vector<RouterId> members;
+  };
+
+  struct PeerState {
+    PeerInfo info;
+    // MRAI state.
+    bool mrai_armed = false;
+    sim::EventId mrai_timer = 0;
+    // Pending (group, prefix) pairs awaiting the MRAI flush.
+    std::vector<std::pair<int, Ipv4Prefix>> pending;
+    std::unordered_set<std::uint64_t> pending_keys;
+    // Last transmitted content hash per (group, prefix); 0 = nothing.
+    // Flat when a PrefixIndex is available, map otherwise.
+    std::unordered_map<std::uint64_t, std::uint32_t> sent_hash_map;
+    std::vector<std::uint32_t> sent_hash_flat;  // indexed by group slot
+  };
+
+  struct Incoming {
+    RouterId from;
+    bgp::UpdateMessage msg;
+    bool ebgp = false;
+    bool withdraw_ebgp = false;
+  };
+
+  // -- receive path --
+  void receive(RouterId from, const bgp::UpdateMessage& msg);
+  void enqueue(Incoming incoming);
+  void drain_input();
+  /// Applies one message to the Adj-RIB-In; appends dirty prefixes.
+  void apply(const Incoming& incoming, std::vector<Ipv4Prefix>& dirty);
+  bool accept_route(const Route& route, const PeerState* peer) const;
+
+  // -- decision + advertisement path --
+  void run_pipeline(const Ipv4Prefix& prefix);
+  void reflect_tbrr(const Ipv4Prefix& prefix,
+                    const std::vector<Route>& candidates);
+  void reflect_abrr(const Ipv4Prefix& prefix,
+                    const std::vector<Route>& candidates);
+  void decide_local(const Ipv4Prefix& prefix,
+                    const std::vector<Route>& candidates);
+  void export_own_best(const Ipv4Prefix& prefix, const Route* best);
+  void export_ebgp(const Ipv4Prefix& prefix, const Route* best);
+
+  /// Updates a group's Adj-RIB-Out; on change, schedules per-member
+  /// transmission under MRAI.
+  void set_group_routes(int group, const Ipv4Prefix& prefix,
+                        std::vector<Route> routes);
+
+  void schedule_send(RouterId peer, int group, const Ipv4Prefix& prefix);
+  void flush_peer(RouterId peer);
+  void transmit(PeerState& peer, int group, const Ipv4Prefix& prefix);
+
+  std::uint32_t& sent_hash(PeerState& peer, int group,
+                           const Ipv4Prefix& prefix);
+
+  OutGroup& group(int key);
+  /// True when decisions for this prefix use the ABRR plane.
+  bool uses_abrr(const Ipv4Prefix& prefix) const;
+  /// Drops candidates from the plane the acceptance switch disables.
+  std::vector<Route> filter_accepted(const Ipv4Prefix& prefix,
+                                     const std::vector<Route>& in) const;
+  std::vector<ApId> aps_of(const Ipv4Prefix& prefix) const;
+  bool manages_ap(ApId ap) const;
+  bool manages_prefix(const Ipv4Prefix& prefix) const;
+
+  SpeakerConfig config_;
+  sim::Scheduler* scheduler_;
+  net::Network* network_;
+  bgp::IgpDistanceFn igp_;
+  ImportPolicy import_;
+  std::function<bool(const Ipv4Prefix&)> accept_abrr_;
+  BestChangeHook best_change_hook_;
+  std::shared_ptr<const bgp::PrefixIndex> prefix_index_;
+
+  struct EbgpNeighborState {
+    Asn asn = 0;
+    EbgpExportPolicy policy;
+    // Advertised-content hash per prefix (0 = nothing advertised).
+    std::unordered_map<Ipv4Prefix, std::uint32_t> advertised;
+  };
+  std::unordered_map<RouterId, EbgpNeighborState> ebgp_neighbors_;
+  EbgpSendHook ebgp_send_hook_;
+
+  std::unordered_map<RouterId, PeerState> peers_;
+  std::unordered_map<int, OutGroup> groups_;
+  // Dense slot assignment for (group) -> index used by sent_hash_flat.
+  std::unordered_map<int, std::uint32_t> group_slot_;
+
+  bgp::AdjRibIn adj_rib_in_;
+  bgp::LocRib loc_rib_;
+
+  std::deque<Incoming> input_queue_;
+  bool drain_scheduled_ = false;
+  sim::Time busy_until_ = 0;
+
+  SpeakerCounters counters_;
+};
+
+}  // namespace abrr::ibgp

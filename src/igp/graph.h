@@ -1,0 +1,61 @@
+// Intra-AS IGP topology: weighted undirected graph over RouterIds.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/types.h"
+
+namespace abrr::igp {
+
+using bgp::RouterId;
+
+/// IGP link metric. ISPs set these so intra-PoP < inter-PoP (§1).
+using Metric = std::int64_t;
+
+/// A weighted undirected graph of routers and IGP adjacencies.
+class Graph {
+ public:
+  /// Adds a router; idempotent.
+  void add_node(RouterId id);
+
+  /// Adds (or tightens) an undirected link with the given metric (> 0).
+  /// Parallel add_link calls keep the smaller metric.
+  void add_link(RouterId a, RouterId b, Metric metric);
+
+  /// Overwrites the metric of an existing link (> 0). Returns false if
+  /// the link does not exist.
+  bool set_metric(RouterId a, RouterId b, Metric metric);
+
+  /// Removes a link (link failure). Returns false if it did not exist.
+  bool remove_link(RouterId a, RouterId b);
+
+  /// Metric of the direct link a-b, or kNoLink.
+  Metric link_metric(RouterId a, RouterId b) const;
+
+  static constexpr Metric kNoLink = -1;
+
+  bool has_node(RouterId id) const { return adjacency_.count(id) != 0; }
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t link_count() const { return link_count_; }
+
+  struct Edge {
+    RouterId to;
+    Metric metric;
+  };
+
+  /// Neighbors of `id` (empty for unknown routers).
+  const std::vector<Edge>& neighbors(RouterId id) const;
+
+  /// All router ids, in insertion order.
+  const std::vector<RouterId>& nodes() const { return nodes_; }
+
+ private:
+  std::unordered_map<RouterId, std::vector<Edge>> adjacency_;
+  std::vector<RouterId> nodes_;
+  std::size_t link_count_ = 0;
+};
+
+}  // namespace abrr::igp

@@ -1,0 +1,70 @@
+#include "igp/spf.h"
+
+#include <queue>
+#include <tuple>
+
+namespace abrr::igp {
+
+Metric SpfTree::distance_to(RouterId target) const {
+  const auto it = distance.find(target);
+  return it == distance.end() ? bgp::kIgpInfinity : it->second;
+}
+
+RouterId SpfTree::next_hop_to(RouterId target) const {
+  const auto it = first_hop.find(target);
+  return it == first_hop.end() ? bgp::kNoRouter : it->second;
+}
+
+SpfTree compute_spf(const Graph& graph, RouterId source) {
+  SpfTree tree;
+  tree.source = source;
+  if (!graph.has_node(source)) return tree;
+
+  // (distance, node, first hop); ties resolved toward lower node then
+  // lower first hop for determinism.
+  using Item = std::tuple<Metric, RouterId, RouterId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0, source, source);
+
+  while (!heap.empty()) {
+    const auto [dist, node, hop] = heap.top();
+    heap.pop();
+    const auto it = tree.distance.find(node);
+    if (it != tree.distance.end()) {
+      // Already settled; keep the lower first hop on exact ties so the
+      // result does not depend on heap internals.
+      if (it->second == dist && hop < tree.first_hop[node]) {
+        tree.first_hop[node] = hop;
+      }
+      continue;
+    }
+    tree.distance.emplace(node, dist);
+    tree.first_hop.emplace(node, hop);
+    for (const Graph::Edge& edge : graph.neighbors(node)) {
+      if (tree.distance.count(edge.to) != 0) continue;
+      const RouterId next_first = node == source ? edge.to : hop;
+      heap.emplace(dist + edge.metric, edge.to, next_first);
+    }
+  }
+  return tree;
+}
+
+const SpfTree& SpfCache::tree(RouterId source) {
+  const auto it = trees_.find(source);
+  if (it != trees_.end()) return it->second;
+  return trees_.emplace(source, compute_spf(*graph_, source)).first->second;
+}
+
+Metric SpfCache::distance(RouterId from, RouterId to) {
+  return tree(from).distance_to(to);
+}
+
+RouterId SpfCache::next_hop(RouterId from, RouterId to) {
+  return tree(from).next_hop_to(to);
+}
+
+bgp::IgpDistanceFn SpfCache::distance_fn(RouterId from) {
+  return [this, from](RouterId next_hop) { return distance(from, next_hop); };
+}
+
+}  // namespace abrr::igp

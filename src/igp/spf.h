@@ -1,0 +1,54 @@
+// Shortest-path-first computation over the IGP graph.
+#pragma once
+
+#include <unordered_map>
+
+#include "bgp/decision.h"
+#include "igp/graph.h"
+
+namespace abrr::igp {
+
+/// Result of one Dijkstra run: distances and first hops from a source.
+struct SpfTree {
+  RouterId source = bgp::kNoRouter;
+  /// Distance to each reachable router (absent = unreachable).
+  std::unordered_map<RouterId, Metric> distance;
+  /// First hop on the shortest path to each reachable router (the source
+  /// maps to itself). Ties broken toward the lower neighbor id so the
+  /// data-plane walk is deterministic.
+  std::unordered_map<RouterId, RouterId> first_hop;
+
+  /// Distance, or bgp::kIgpInfinity when unreachable.
+  Metric distance_to(RouterId target) const;
+
+  /// Next hop toward target, or kNoRouter when unreachable.
+  RouterId next_hop_to(RouterId target) const;
+};
+
+/// Runs Dijkstra from `source`.
+SpfTree compute_spf(const Graph& graph, RouterId source);
+
+/// Caches one SpfTree per source, computed lazily; hands out
+/// bgp::IgpDistanceFn oracles for the decision process.
+class SpfCache {
+ public:
+  explicit SpfCache(const Graph& graph) : graph_(&graph) {}
+
+  const SpfTree& tree(RouterId source);
+
+  Metric distance(RouterId from, RouterId to);
+
+  RouterId next_hop(RouterId from, RouterId to);
+
+  /// Distance oracle bound to a vantage point, for decision step 6.
+  bgp::IgpDistanceFn distance_fn(RouterId from);
+
+  /// Drops all cached trees (call after mutating the graph).
+  void invalidate() { trees_.clear(); }
+
+ private:
+  const Graph* graph_;
+  std::unordered_map<RouterId, SpfTree> trees_;
+};
+
+}  // namespace abrr::igp

@@ -1,0 +1,27 @@
+// Point-to-point control-plane channel between two routers.
+//
+// Models the BGP TCP session transport: reliable, in-order delivery with
+// a configurable one-way latency. In-order delivery is enforced even
+// under jitter by never scheduling a message before the previously sent
+// one on the same directed channel.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace abrr::net {
+
+/// Per-directed-channel transport state.
+struct ChannelState {
+  sim::Time base_latency = sim::msec(1);
+  /// Maximum extra random latency added per message (jitter).
+  sim::Time jitter = 0;
+  /// Departure time of the last message (for FIFO ordering).
+  sim::Time last_delivery = 0;
+  /// Messages and bytes carried (for the bandwidth accounting of §4.2).
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+}  // namespace abrr::net

@@ -1,0 +1,66 @@
+#include "net/network.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abrr::net {
+
+void Network::register_endpoint(RouterId id, Receiver receiver) {
+  if (!receiver) throw std::invalid_argument{"register_endpoint: empty"};
+  endpoints_[id] = std::move(receiver);
+}
+
+void Network::connect(RouterId a, RouterId b, sim::Time latency,
+                      sim::Time jitter) {
+  if (a == b) throw std::invalid_argument{"connect: self session"};
+  if (latency < 0 || jitter < 0) {
+    throw std::invalid_argument{"connect: negative latency"};
+  }
+  for (const auto k : {key(a, b), key(b, a)}) {
+    ChannelState& ch = channels_[k];
+    ch.base_latency = latency;
+    ch.jitter = jitter;
+  }
+}
+
+bool Network::connected(RouterId a, RouterId b) const {
+  return channels_.count(key(a, b)) != 0;
+}
+
+void Network::send(RouterId from, RouterId to, bgp::UpdateMessage msg) {
+  const auto cit = channels_.find(key(from, to));
+  if (cit == channels_.end()) {
+    throw std::logic_error{"send: no session " + std::to_string(from) +
+                           " -> " + std::to_string(to)};
+  }
+  const auto eit = endpoints_.find(to);
+  if (eit == endpoints_.end()) {
+    throw std::logic_error{"send: unregistered endpoint " +
+                           std::to_string(to)};
+  }
+
+  ChannelState& ch = cit->second;
+  sim::Time latency = ch.base_latency;
+  if (ch.jitter > 0) latency += rng_->uniform_int(0, ch.jitter);
+  sim::Time at = scheduler_->now() + latency;
+  if (at <= ch.last_delivery) at = ch.last_delivery + 1;  // FIFO
+  ch.last_delivery = at;
+  ++ch.messages;
+  ch.bytes += msg.wire_size();
+  ++total_messages_;
+  total_bytes_ += msg.wire_size();
+
+  // The receiver is looked up at delivery time so endpoints can be
+  // replaced mid-run (e.g. transition experiments).
+  scheduler_->schedule_at(at, [this, from, to, m = std::move(msg)]() {
+    const auto it = endpoints_.find(to);
+    if (it != endpoints_.end()) it->second(from, m);
+  });
+}
+
+const ChannelState* Network::channel(RouterId from, RouterId to) const {
+  const auto it = channels_.find(key(from, to));
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+}  // namespace abrr::net

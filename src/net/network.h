@@ -1,0 +1,70 @@
+// The control-plane message fabric connecting BGP speakers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "bgp/types.h"
+#include "bgp/update.h"
+#include "net/channel.h"
+#include "sim/random.h"
+#include "sim/scheduler.h"
+
+namespace abrr::net {
+
+using bgp::RouterId;
+
+/// Delivery callback: (sender, message).
+using Receiver = std::function<void(RouterId, const bgp::UpdateMessage&)>;
+
+/// Reliable in-order message fabric between registered endpoints.
+///
+/// Endpoints are BGP speakers; `connect` establishes a bidirectional
+/// session transport with a one-way latency (optionally jittered).
+class Network {
+ public:
+  Network(sim::Scheduler& scheduler, sim::Rng& rng)
+      : scheduler_(&scheduler), rng_(&rng) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers an endpoint's receive handler. Re-registering replaces it.
+  void register_endpoint(RouterId id, Receiver receiver);
+
+  /// Establishes the transport both ways with the given one-way latency
+  /// and per-message jitter bound.
+  void connect(RouterId a, RouterId b, sim::Time latency,
+               sim::Time jitter = 0);
+
+  bool connected(RouterId a, RouterId b) const;
+
+  /// Sends a message; delivery is scheduled after the channel latency
+  /// (plus jitter), no earlier than the previous message on the same
+  /// directed channel. Throws if the channel does not exist.
+  void send(RouterId from, RouterId to, bgp::UpdateMessage msg);
+
+  /// Aggregate counters.
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Per-directed-channel counters, or nullptr if not connected.
+  const ChannelState* channel(RouterId from, RouterId to) const;
+
+  std::size_t session_count() const { return channels_.size() / 2; }
+
+ private:
+  static std::uint64_t key(RouterId from, RouterId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  sim::Scheduler* scheduler_;
+  sim::Rng* rng_;
+  std::unordered_map<RouterId, Receiver> endpoints_;
+  std::unordered_map<std::uint64_t, ChannelState> channels_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace abrr::net

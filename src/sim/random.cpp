@@ -1,0 +1,123 @@
+#include "sim/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abrr::sim {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: used only to expand the seed into the xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument{"uniform_int: lo > hi"};
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t v;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument{"exponential: mean <= 0"};
+  double u;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+void Rng::rebuild_zipf_cdf(std::size_t n, double s) {
+  zipf_cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    zipf_cdf_[i] = acc;
+  }
+  for (auto& v : zipf_cdf_) v /= acc;
+  zipf_n_ = n;
+  zipf_s_ = s;
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument{"zipf: n == 0"};
+  if (n != zipf_n_ || s != zipf_s_) rebuild_zipf_cdf(n, s);
+  const double u = uniform01();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<std::size_t>(it - zipf_cdf_.begin());
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument{"index: n == 0"};
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument{"sample_indices: k > n"};
+  // Floyd's algorithm: O(k) expected insertions.
+  std::vector<std::size_t> picked;
+  picked.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = index(j + 1);
+    if (std::find(picked.begin(), picked.end(), t) == picked.end()) {
+      picked.push_back(t);
+    } else {
+      picked.push_back(j);
+    }
+  }
+  return picked;
+}
+
+Rng Rng::split() { return Rng{(*this)()}; }
+
+}  // namespace abrr::sim

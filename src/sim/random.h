@@ -1,0 +1,78 @@
+// Deterministic pseudo-random source for simulations.
+//
+// Wraps xoshiro256** (public-domain algorithm by Blackman & Vigna) so that
+// every experiment is reproducible from a single 64-bit seed regardless of
+// the platform's std::mt19937 quirks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace abrr::sim {
+
+/// Deterministic 64-bit PRNG (xoshiro256**) with distribution helpers.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be handed to
+/// <random> distributions and std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator; identical seeds yield identical streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s >= 0).
+  /// Rank 0 is the most popular element.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Picks a uniformly random element index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher-Yates shuffle of a span, in place.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derives an independent generator (for decorrelated sub-streams).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+
+  // Zipf normalisation cache: valid for (zipf_n_, zipf_s_).
+  std::size_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+
+  void rebuild_zipf_cdf(std::size_t n, double s);
+};
+
+}  // namespace abrr::sim

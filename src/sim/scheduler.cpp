@@ -1,0 +1,67 @@
+#include "sim/scheduler.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abrr::sim {
+
+EventId Scheduler::schedule_at(Time at, std::function<void()> fn) {
+  if (!fn) throw std::invalid_argument{"schedule_at: empty callback"};
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+EventId Scheduler::schedule_after(Time delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument{"schedule_after: negative delay"};
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::cancel(EventId id) { cancelled_.insert(id); }
+
+void Scheduler::skip_cancelled() {
+  while (!queue_.empty() && cancelled_.count(queue_.top().id) != 0) {
+    cancelled_.erase(queue_.top().id);
+    queue_.pop();
+  }
+}
+
+bool Scheduler::has_pending() const {
+  // Conservative: everything in the queue that is not cancelled.
+  return queue_.size() > cancelled_.size();
+}
+
+bool Scheduler::step() {
+  skip_cancelled();
+  if (queue_.empty()) return false;
+  // Move the entry out before popping so the callback can schedule/cancel.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.at;
+  ++executed_;
+  entry.fn();
+  return true;
+}
+
+std::size_t Scheduler::run_until(Time deadline) {
+  std::size_t n = 0;
+  for (;;) {
+    skip_cancelled();
+    if (queue_.empty() || queue_.top().at > deadline) break;
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Scheduler::run_to_quiescence(std::size_t max_events) {
+  for (std::size_t n = 0; n < max_events; ++n) {
+    if (!step()) return true;
+  }
+  skip_cancelled();
+  return queue_.empty();
+}
+
+}  // namespace abrr::sim

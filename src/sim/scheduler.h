@@ -1,0 +1,86 @@
+// Deterministic discrete-event scheduler.
+//
+// The whole testbed (routers, sessions, the route regenerator) runs on one
+// of these. Determinism: ties in time are broken by insertion sequence
+// number, so a given seed always produces the same run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace abrr::sim {
+
+/// Handle for a scheduled event; lets the owner cancel it later.
+using EventId = std::uint64_t;
+
+/// Deterministic discrete-event loop.
+///
+/// Events are callbacks ordered by (time, insertion sequence). The loop is
+/// single-threaded; callbacks may schedule further events.
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now()).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  EventId schedule_after(Time delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown
+  /// event is a harmless no-op.
+  void cancel(EventId id);
+
+  /// True if any non-cancelled event is pending.
+  bool has_pending() const;
+
+  /// Runs a single event. Returns false if the queue was empty.
+  bool step();
+
+  /// Runs events until the queue drains or simulated time would pass
+  /// `deadline`. Returns the number of events executed.
+  std::size_t run_until(Time deadline);
+
+  /// Runs until the event queue drains entirely ("the network is quiet"),
+  /// or until `max_events` executed. Returns true if it drained.
+  bool run_to_quiescence(std::size_t max_events = SIZE_MAX);
+
+  /// Total events executed since construction.
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops cancelled entries off the top of the queue.
+  void skip_cancelled();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace abrr::sim

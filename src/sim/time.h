@@ -1,0 +1,42 @@
+// Simulated-time primitives.
+//
+// All simulation timestamps are integral microseconds since the start of
+// the run. An integral representation keeps event ordering exact and the
+// scheduler deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace abrr::sim {
+
+/// Simulated time in microseconds since the start of the run.
+using Time = std::int64_t;
+
+/// One microsecond.
+inline constexpr Time kMicrosecond = 1;
+/// One millisecond.
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+/// One second.
+inline constexpr Time kSecond = 1000 * kMillisecond;
+/// One minute.
+inline constexpr Time kMinute = 60 * kSecond;
+/// One hour.
+inline constexpr Time kHour = 60 * kMinute;
+/// One day.
+inline constexpr Time kDay = 24 * kHour;
+
+/// Build a duration from whole microseconds.
+constexpr Time usec(std::int64_t n) { return n * kMicrosecond; }
+/// Build a duration from whole milliseconds.
+constexpr Time msec(std::int64_t n) { return n * kMillisecond; }
+/// Build a duration from whole seconds.
+constexpr Time sec(std::int64_t n) { return n * kSecond; }
+/// Build a duration from fractional seconds (rounded toward zero).
+constexpr Time sec_f(double s) { return static_cast<Time>(s * kSecond); }
+
+/// Convert a duration to fractional seconds (for reporting only).
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace abrr::sim

@@ -1,0 +1,144 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abrr::topo {
+
+std::vector<const RouterSpec*> Topology::cluster_clients(
+    std::uint32_t cluster) const {
+  std::vector<const RouterSpec*> out;
+  for (const auto& r : clients) {
+    if (r.cluster == cluster) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const ReflectorSpec*> Topology::cluster_reflectors(
+    std::uint32_t cluster) const {
+  std::vector<const ReflectorSpec*> out;
+  for (const auto& r : reflectors) {
+    if (r.cluster == cluster) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const PeeringPoint*> Topology::points_of(Asn peer_as) const {
+  std::vector<const PeeringPoint*> out;
+  for (const auto& p : peering_points) {
+    if (p.peer_as == peer_as) out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<RouterId> Topology::peering_routers() const {
+  std::vector<RouterId> out;
+  for (const auto& r : clients) {
+    if (r.role == RouterRole::kPeering) out.push_back(r.id);
+  }
+  return out;
+}
+
+Topology make_tier1(const TopologyParams& params, sim::Rng& rng) {
+  if (params.pops == 0 || params.clients_per_pop == 0) {
+    throw std::invalid_argument{"topology needs at least one PoP/client"};
+  }
+  Topology topo;
+  topo.params = params;
+
+  RouterId next_id = 1;
+
+  // Data-plane clients: the first `peering_router_fraction` of each PoP
+  // are peering routers, the rest access routers.
+  for (std::uint32_t pop = 0; pop < params.pops; ++pop) {
+    const auto n_peering = static_cast<std::uint32_t>(
+        params.clients_per_pop * params.peering_router_fraction + 0.5);
+    for (std::uint32_t i = 0; i < params.clients_per_pop; ++i) {
+      RouterSpec r;
+      r.id = next_id++;
+      r.pop = pop;
+      r.cluster = pop;
+      r.role = i < n_peering ? RouterRole::kPeering : RouterRole::kAccess;
+      topo.clients.push_back(r);
+    }
+  }
+
+  // Control-plane reflector boxes, trrs_per_cluster per PoP.
+  for (std::uint32_t pop = 0; pop < params.pops; ++pop) {
+    for (std::uint32_t i = 0; i < params.trrs_per_cluster; ++i) {
+      ReflectorSpec r;
+      r.id = next_id++;
+      r.pop = pop;
+      r.cluster = pop;
+      topo.reflectors.push_back(r);
+    }
+  }
+
+  // IGP graph: per PoP, a hub connecting all local routers (intra-PoP
+  // metrics), hubs connected in a ring plus random chords (inter-PoP).
+  const auto intra = [&] {
+    return static_cast<igp::Metric>(rng.uniform_int(
+        params.intra_pop_metric_min, params.intra_pop_metric_max));
+  };
+  const auto inter = [&] {
+    return static_cast<igp::Metric>(rng.uniform_int(
+        params.inter_pop_metric_min, params.inter_pop_metric_max));
+  };
+  for (const auto& r : topo.clients) {
+    topo.graph.add_link(r.id, kHubBase + r.pop, intra());
+  }
+  for (const auto& r : topo.reflectors) {
+    topo.graph.add_link(r.id, kHubBase + r.pop, intra());
+  }
+  if (params.pops > 1) {
+    for (std::uint32_t pop = 0; pop < params.pops; ++pop) {
+      topo.graph.add_link(kHubBase + pop,
+                          kHubBase + (pop + 1) % params.pops, inter());
+    }
+    for (std::uint32_t i = 0; i < params.extra_pop_links; ++i) {
+      const auto a = static_cast<std::uint32_t>(rng.index(params.pops));
+      const auto b = static_cast<std::uint32_t>(rng.index(params.pops));
+      if (a != b) topo.graph.add_link(kHubBase + a, kHubBase + b, inter());
+    }
+  }
+
+  // Peer ASes and their peering points. Each AS attaches at
+  // `peering_points_per_as` points in distinct PoPs (diversity policy),
+  // with optional Zipf skew so gateway PoPs attract more peerings.
+  RouterId next_neighbor = kEbgpNeighborBase;
+  for (std::uint32_t i = 0; i < params.peer_ases; ++i) {
+    topo.peer_as_list.push_back(7000 + i);
+  }
+  for (const Asn peer_as : topo.peer_as_list) {
+    std::vector<std::uint32_t> pops_used;
+    std::uint32_t guard = 0;
+    while (pops_used.size() <
+               std::min<std::size_t>(params.peering_points_per_as,
+                                     params.pops) &&
+           guard++ < 1000) {
+      const auto pop = static_cast<std::uint32_t>(
+          params.peering_skew > 0
+              ? rng.zipf(params.pops, params.peering_skew)
+              : rng.index(params.pops));
+      if (std::find(pops_used.begin(), pops_used.end(), pop) !=
+          pops_used.end()) {
+        continue;
+      }
+      // Pick a peering router in this PoP, if any.
+      std::vector<const RouterSpec*> local;
+      for (const auto& r : topo.clients) {
+        if (r.pop == pop && r.role == RouterRole::kPeering) {
+          local.push_back(&r);
+        }
+      }
+      if (local.empty()) continue;
+      pops_used.push_back(pop);
+      const RouterSpec* router = local[rng.index(local.size())];
+      topo.peering_points.push_back(
+          PeeringPoint{router->id, peer_as, next_neighbor++});
+    }
+  }
+  return topo;
+}
+
+}  // namespace abrr::topo

@@ -1,0 +1,114 @@
+// Tier-1 AS topology model (§3.1, §4).
+//
+// The measured AS: >1000 BGP routers, <10% of them peering routers,
+// 25 peer ASes with ~8 peering points each, 27 clusters (we default to
+// the 13-cluster peering-router subset the paper's testbed used).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/types.h"
+#include "igp/graph.h"
+#include "sim/random.h"
+
+namespace abrr::topo {
+
+using bgp::Asn;
+using bgp::RouterId;
+
+/// Functional role of a data-plane router.
+enum class RouterRole : std::uint8_t {
+  kAccess,   // connects customer ASes
+  kPeering,  // has eBGP sessions with peer ASes
+};
+
+/// One data-plane router (an iBGP client).
+struct RouterSpec {
+  RouterId id = bgp::kNoRouter;
+  RouterRole role = RouterRole::kAccess;
+  std::uint32_t pop = 0;      // PoP index
+  std::uint32_t cluster = 0;  // TBRR cluster (== pop in our model)
+};
+
+/// A control-plane route reflector (TRR or ARR depending on experiment).
+struct ReflectorSpec {
+  RouterId id = bgp::kNoRouter;
+  std::uint32_t pop = 0;  // physical placement
+  /// TBRR: the cluster it serves. ABRR reuses these nodes as ARRs with
+  /// unconstrained placement, so `cluster` is ignored there.
+  std::uint32_t cluster = 0;
+};
+
+/// One eBGP peering point: a peering router's session to a peer AS.
+struct PeeringPoint {
+  RouterId router = bgp::kNoRouter;   // our peering router
+  Asn peer_as = 0;                    // the neighboring AS
+  RouterId neighbor_id = 0;           // eBGP neighbor session id
+};
+
+/// Knobs for the synthetic Tier-1 topology.
+struct TopologyParams {
+  std::uint32_t pops = 13;             // == TBRR clusters
+  std::uint32_t clients_per_pop = 6;   // data-plane routers per PoP
+  std::uint32_t trrs_per_cluster = 2;  // redundant TRRs
+  std::uint32_t peer_ases = 25;
+  /// Average peering points per peer AS (the paper measured ~8); points
+  /// are placed in geographically diverse PoPs (AT&T peering policy).
+  std::uint32_t peering_points_per_as = 8;
+  /// Fraction of clients that are peering routers (<10% of >1000 routers
+  /// in the real AS; our scaled-down PoPs need a larger share so that
+  /// every peer AS can find diverse attachment points).
+  double peering_router_fraction = 0.5;
+  /// Skew: a few "gateway" PoPs attract disproportionally many peering
+  /// points, reproducing the non-uniform distribution behind the TRR
+  /// analysis overestimate of Figure 6.
+  double peering_skew = 1.0;  // Zipf exponent over PoPs; 0 = uniform
+  // IGP metrics: intra-PoP always shorter than inter-PoP (§1).
+  igp::Metric intra_pop_metric_min = 1;
+  igp::Metric intra_pop_metric_max = 5;
+  igp::Metric inter_pop_metric_min = 20;
+  igp::Metric inter_pop_metric_max = 100;
+  /// Extra random inter-PoP links beyond the connectivity ring.
+  std::uint32_t extra_pop_links = 12;
+};
+
+/// The synthesized AS.
+struct Topology {
+  TopologyParams params;
+  std::vector<RouterSpec> clients;
+  std::vector<ReflectorSpec> reflectors;  // control-plane RR nodes
+  std::vector<PeeringPoint> peering_points;
+  std::vector<Asn> peer_as_list;
+  igp::Graph graph;  // covers clients and reflectors
+
+  Asn local_as = 65000;
+
+  /// Clients in one cluster.
+  std::vector<const RouterSpec*> cluster_clients(std::uint32_t cluster) const;
+  /// Reflector nodes of one cluster.
+  std::vector<const ReflectorSpec*> cluster_reflectors(
+      std::uint32_t cluster) const;
+  /// Peering points attached to one peer AS.
+  std::vector<const PeeringPoint*> points_of(Asn peer_as) const;
+  /// All peering routers (clients with eBGP sessions).
+  std::vector<RouterId> peering_routers() const;
+};
+
+/// Synthesizes a Tier-1-like topology. Deterministic for a given rng
+/// state. Reflector nodes are created as `pops * trrs_per_cluster`
+/// control-plane boxes; experiments use them as TRRs (cluster-bound) or
+/// repurpose any subset as ARRs (placement-free).
+Topology make_tier1(const TopologyParams& params, sim::Rng& rng);
+
+/// eBGP neighbor ids live in a disjoint range from RouterIds.
+inline constexpr RouterId kEbgpNeighborBase = 0x80000000;
+
+/// PoP hub nodes in the IGP graph (pure forwarding devices, not BGP
+/// speakers): hub of PoP p is kHubBase + p.
+inline constexpr RouterId kHubBase = 0x40000000;
+
+/// The IGP node representing a PoP's hub.
+constexpr RouterId hub_of(std::uint32_t pop) { return kHubBase + pop; }
+
+}  // namespace abrr::topo

@@ -1,0 +1,183 @@
+#include "trace/mrt.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace abrr::trace {
+namespace {
+
+constexpr char kMagic[8] = {'A', 'B', 'M', 'R', 'T', '1', 0, 0};
+constexpr std::uint32_t kVersion = 1;
+
+// Little-endian scalar I/O. We serialize through byte buffers rather
+// than struct dumps so the format is packing- and endian-stable.
+template <typename T>
+void put(std::ostream& out, T value) {
+  static_assert(std::is_integral_v<T>);
+  unsigned char buf[sizeof(T)];
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<unsigned char>(
+        static_cast<std::make_unsigned_t<T>>(value) >> (8 * i));
+  }
+  out.write(reinterpret_cast<const char*>(buf), sizeof buf);
+}
+
+template <typename T>
+T get(std::istream& in) {
+  static_assert(std::is_integral_v<T>);
+  unsigned char buf[sizeof(T)];
+  in.read(reinterpret_cast<char*>(buf), sizeof buf);
+  if (!in) throw std::runtime_error{"MRT file truncated"};
+  std::make_unsigned_t<T> v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<std::make_unsigned_t<T>>(buf[i]) << (8 * i);
+  }
+  return static_cast<T>(v);
+}
+
+void put_double(std::ostream& out, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  put(out, bits);
+}
+
+double get_double(std::istream& in) {
+  const auto bits = get<std::uint64_t>(in);
+  double value;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+void put_params(std::ostream& out, const WorkloadParams& p) {
+  put(out, static_cast<std::uint64_t>(p.prefixes));
+  put_double(out, p.peer_fraction);
+  put_double(out, p.peer_announce_prob);
+  put_double(out, p.path_tie_prob);
+  put_double(out, p.point_tie_prob);
+  put(out, static_cast<std::uint8_t>(p.per_point_meds ? 1 : 0));
+  put(out, p.med_levels);
+  put(out, p.peer_local_pref);
+  put(out, p.customer_local_pref);
+  put(out, p.max_customer_attachments);
+}
+
+WorkloadParams get_params(std::istream& in) {
+  WorkloadParams p;
+  p.prefixes = get<std::uint64_t>(in);
+  p.peer_fraction = get_double(in);
+  p.peer_announce_prob = get_double(in);
+  p.path_tie_prob = get_double(in);
+  p.point_tie_prob = get_double(in);
+  p.per_point_meds = get<std::uint8_t>(in) != 0;
+  p.med_levels = get<std::uint32_t>(in);
+  p.peer_local_pref = get<std::uint32_t>(in);
+  p.customer_local_pref = get<std::uint32_t>(in);
+  p.max_customer_attachments = get<std::uint32_t>(in);
+  return p;
+}
+
+}  // namespace
+
+void write_mrt(const std::string& path, const Workload& workload,
+               const UpdateTrace& trace) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) throw std::runtime_error{"cannot open for write: " + path};
+
+  out.write(kMagic, sizeof kMagic);
+  put(out, kVersion);
+  put_params(out, workload.params());
+
+  // TABLE_DUMP section.
+  put(out, static_cast<std::uint64_t>(workload.table().size()));
+  for (const PrefixEntry& entry : workload.table()) {
+    put(out, entry.prefix.address());
+    put(out, static_cast<std::uint8_t>(entry.prefix.length()));
+    put(out, static_cast<std::uint8_t>(entry.from_peers ? 1 : 0));
+    put(out, static_cast<std::uint32_t>(entry.anns.size()));
+    for (const Announcement& a : entry.anns) {
+      put(out, a.router);
+      put(out, a.neighbor);
+      put(out, a.first_as);
+      put(out, a.origin_as);
+      put(out, a.path_length);
+      put(out, static_cast<std::uint8_t>(a.med.has_value() ? 1 : 0));
+      put(out, a.med.value_or(0));
+      put(out, a.local_pref);
+    }
+  }
+
+  // UPDATE section.
+  put(out, static_cast<std::int64_t>(trace.duration()));
+  put(out, static_cast<std::uint64_t>(trace.events().size()));
+  for (const TraceEvent& e : trace.events()) {
+    put(out, static_cast<std::int64_t>(e.at));
+    put(out, static_cast<std::uint8_t>(e.kind));
+    put(out, e.prefix_idx);
+    put(out, e.peer_as);
+    put(out, e.point_router);
+  }
+  if (!out) throw std::runtime_error{"write failed: " + path};
+}
+
+MrtFile read_mrt(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"cannot open for read: " + path};
+
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error{"not an ABMRT file: " + path};
+  }
+  if (get<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error{"unsupported ABMRT version: " + path};
+  }
+  const WorkloadParams params = get_params(in);
+
+  const auto n_prefixes = get<std::uint64_t>(in);
+  std::vector<PrefixEntry> table;
+  table.reserve(n_prefixes);
+  for (std::uint64_t i = 0; i < n_prefixes; ++i) {
+    PrefixEntry entry;
+    const auto addr = get<std::uint32_t>(in);
+    const auto len = get<std::uint8_t>(in);
+    entry.prefix = Ipv4Prefix{addr, len};
+    entry.from_peers = get<std::uint8_t>(in) != 0;
+    const auto n_anns = get<std::uint32_t>(in);
+    entry.anns.reserve(n_anns);
+    for (std::uint32_t k = 0; k < n_anns; ++k) {
+      Announcement a;
+      a.router = get<std::uint32_t>(in);
+      a.neighbor = get<std::uint32_t>(in);
+      a.first_as = get<std::uint32_t>(in);
+      a.origin_as = get<std::uint32_t>(in);
+      a.path_length = get<std::uint8_t>(in);
+      const bool has_med = get<std::uint8_t>(in) != 0;
+      const auto med = get<std::uint32_t>(in);
+      if (has_med) a.med = med;
+      a.local_pref = get<std::uint32_t>(in);
+      entry.anns.push_back(a);
+    }
+    table.push_back(std::move(entry));
+  }
+
+  const auto duration = get<std::int64_t>(in);
+  const auto n_events = get<std::uint64_t>(in);
+  std::vector<TraceEvent> events;
+  events.reserve(n_events);
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    TraceEvent e;
+    e.at = get<std::int64_t>(in);
+    e.kind = static_cast<EventKind>(get<std::uint8_t>(in));
+    e.prefix_idx = get<std::uint32_t>(in);
+    e.peer_as = get<std::uint32_t>(in);
+    e.point_router = get<std::uint32_t>(in);
+    events.push_back(e);
+  }
+
+  MrtFile file{Workload::from_parts(params, std::move(table)),
+               UpdateTrace::from_events(std::move(events), duration)};
+  return file;
+}
+
+}  // namespace abrr::trace

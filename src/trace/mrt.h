@@ -1,0 +1,33 @@
+// MRT-style binary trace files.
+//
+// The paper's route regenerator consumes MRT-format routing traces. We
+// persist our synthetic snapshot + update trace in an MRT-inspired
+// binary container ("ABMRT1"): a TABLE_DUMP-like section with every edge
+// announcement, followed by timestamped update records. Files written by
+// one run can be replayed bit-identically by another (and shipped
+// between machines: everything is stored little-endian).
+#pragma once
+
+#include <string>
+
+#include "trace/update_trace.h"
+#include "trace/workload.h"
+
+namespace abrr::trace {
+
+/// A snapshot plus its update trace, as stored on disk.
+struct MrtFile {
+  Workload workload;
+  UpdateTrace trace;
+};
+
+/// Writes snapshot + trace to `path`. Throws std::runtime_error on I/O
+/// failure.
+void write_mrt(const std::string& path, const Workload& workload,
+               const UpdateTrace& trace);
+
+/// Reads a file produced by write_mrt. Throws std::runtime_error on I/O
+/// or format errors (bad magic, truncation, version mismatch).
+MrtFile read_mrt(const std::string& path);
+
+}  // namespace abrr::trace

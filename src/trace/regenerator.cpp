@@ -1,0 +1,115 @@
+#include "trace/regenerator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abrr::trace {
+
+RouteRegenerator::RouteRegenerator(sim::Scheduler& scheduler,
+                                   Workload workload, InjectFn inject,
+                                   std::uint64_t seed)
+    : scheduler_(&scheduler),
+      workload_(std::move(workload)),
+      inject_(std::move(inject)),
+      rng_(seed) {
+  if (!inject_) throw std::invalid_argument{"regenerator needs an InjectFn"};
+}
+
+void RouteRegenerator::load_snapshot(sim::Time start, sim::Time duration) {
+  const auto& table = workload_.table();
+  if (table.empty()) return;
+  const double step =
+      static_cast<double>(duration) / static_cast<double>(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const sim::Time at = start + static_cast<sim::Time>(step * i);
+    scheduler_->schedule_at(
+        at, [this, i] { announce_entry(workload_.table()[i]); });
+  }
+}
+
+void RouteRegenerator::play(const UpdateTrace& trace, sim::Time offset,
+                            double speedup) {
+  if (speedup <= 0) throw std::invalid_argument{"speedup must be > 0"};
+  for (const TraceEvent& event : trace.events()) {
+    const sim::Time at =
+        offset + static_cast<sim::Time>(event.at / speedup);
+    scheduler_->schedule_at(at, [this, event] { apply_event(event); });
+  }
+}
+
+void RouteRegenerator::announce_entry(const PrefixEntry& entry) {
+  for (const Announcement& a : entry.anns) {
+    inject_(a.router, a.neighbor, entry.prefix, a.to_route(entry.prefix));
+    ++injected_;
+  }
+}
+
+bool RouteRegenerator::matches(const Announcement& a,
+                               const TraceEvent& event) {
+  if (a.first_as != event.peer_as) return false;
+  return event.point_router == bgp::kNoRouter ||
+         a.router == event.point_router;
+}
+
+void RouteRegenerator::announce_matching(PrefixEntry& entry,
+                                         const TraceEvent& event) {
+  for (Announcement& a : entry.anns) {
+    if (!matches(a, event)) continue;
+    a.down = false;
+    inject_(a.router, a.neighbor, entry.prefix, a.to_route(entry.prefix));
+    ++injected_;
+  }
+}
+
+void RouteRegenerator::withdraw_matching(PrefixEntry& entry,
+                                         const TraceEvent& event) {
+  for (Announcement& a : entry.anns) {
+    if (!matches(a, event)) continue;
+    a.down = true;
+    inject_(a.router, a.neighbor, entry.prefix, std::nullopt);
+    ++injected_;
+  }
+}
+
+void RouteRegenerator::apply_event(const TraceEvent& event) {
+  auto& table = workload_.mutable_table();
+  if (event.prefix_idx >= table.size()) return;
+  PrefixEntry& entry = table[event.prefix_idx];
+
+  switch (event.kind) {
+    case EventKind::kWithdraw:
+      withdraw_matching(entry, event);
+      break;
+    case EventKind::kReannounce:
+      announce_matching(entry, event);
+      break;
+    case EventKind::kMedChange: {
+      // Uniform-MED policy (the default): the AS's MED moves as one
+      // value, so MED diversity never creeps in over a replay. With
+      // per_point_meds each point redraws independently.
+      const auto draw = [&] {
+        return 10 * static_cast<std::uint32_t>(rng_.uniform_int(
+                        0, workload_.params().med_levels - 1));
+      };
+      const std::uint32_t common = draw();
+      for (Announcement& a : entry.anns) {
+        if (!matches(a, event)) continue;
+        a.med = workload_.params().per_point_meds ? draw() : common;
+      }
+      announce_matching(entry, event);
+      break;
+    }
+    case EventKind::kPathChange:
+      for (Announcement& a : entry.anns) {
+        if (!matches(a, event)) continue;
+        const auto base = static_cast<std::uint8_t>(
+            a.path_length > 2 ? a.path_length - 1 : 2);
+        a.path_length = static_cast<std::uint8_t>(
+            base + rng_.uniform_int(0, 2));
+      }
+      announce_matching(entry, event);
+      break;
+  }
+}
+
+}  // namespace abrr::trace

@@ -1,0 +1,65 @@
+// The route regenerator of §4: "a simple pseudo BGP speaker ... which
+// uses the MRT-format routing trace to direct BGP feeds towards our
+// implementation."
+//
+// It owns a working copy of the workload snapshot, schedules the initial
+// RIB load, and replays edge events against the testbed through an
+// injection callback (the testbed maps (router, neighbor) to the actual
+// Speaker).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "sim/scheduler.h"
+#include "trace/update_trace.h"
+#include "trace/workload.h"
+
+namespace abrr::trace {
+
+/// Injection hook: announce (route set) or withdraw (nullopt) at a
+/// border router's eBGP session.
+using InjectFn = std::function<void(RouterId router, RouterId neighbor,
+                                    const Ipv4Prefix& prefix,
+                                    const std::optional<bgp::Route>& route)>;
+
+class RouteRegenerator {
+ public:
+  /// Takes a working copy of the workload (events mutate it).
+  RouteRegenerator(sim::Scheduler& scheduler, Workload workload,
+                   InjectFn inject, std::uint64_t seed = 99);
+
+  /// Schedules the initial snapshot load, paced uniformly over
+  /// [start, start + duration] (prefix by prefix).
+  void load_snapshot(sim::Time start, sim::Time duration);
+
+  /// Schedules trace replay starting at `offset` (event times are
+  /// relative to the offset). speedup > 1 compresses the trace.
+  void play(const UpdateTrace& trace, sim::Time offset, double speedup = 1.0);
+
+  /// eBGP announcements + withdrawals injected so far.
+  std::uint64_t injected() const { return injected_; }
+
+  /// The regenerator's current view of the edge: what every border
+  /// router currently hears. Ground truth for the verifiers.
+  const Workload& current() const { return workload_; }
+
+ private:
+  void apply_event(const TraceEvent& event);
+  void announce_entry(const PrefixEntry& entry);
+  /// Announce / withdraw the announcements an event targets (one point,
+  /// or every point of the AS), tracking their live/down state so
+  /// current() stays an accurate ground truth.
+  void announce_matching(PrefixEntry& entry, const TraceEvent& event);
+  void withdraw_matching(PrefixEntry& entry, const TraceEvent& event);
+  static bool matches(const Announcement& a, const TraceEvent& event);
+
+  sim::Scheduler* scheduler_;
+  Workload workload_;
+  InjectFn inject_;
+  sim::Rng rng_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace abrr::trace

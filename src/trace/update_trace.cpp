@@ -1,0 +1,124 @@
+#include "trace/update_trace.h"
+
+#include <algorithm>
+#include <map>
+
+namespace abrr::trace {
+
+UpdateTrace UpdateTrace::generate(const TraceParams& params,
+                                  const Workload& workload, sim::Rng& rng) {
+  UpdateTrace trace;
+  trace.duration_ = params.duration;
+  const auto& table = workload.table();
+  if (table.empty() || params.events_per_second <= 0) return trace;
+
+  const double mean_gap =
+      static_cast<double>(sim::kSecond) / params.events_per_second;
+
+  // Zipf popularity permutation: rank r maps to a fixed random prefix.
+  std::vector<std::uint32_t> by_rank(table.size());
+  for (std::uint32_t i = 0; i < by_rank.size(); ++i) by_rank[i] = i;
+  rng.shuffle(std::span<std::uint32_t>{by_rank});
+
+  // Salient announcements per prefix, computed lazily (only prefixes
+  // that actually receive events pay for it).
+  std::vector<std::vector<std::size_t>> salient(table.size());
+  std::vector<bool> salient_done(table.size(), false);
+  const auto salient_of = [&](std::uint32_t idx) -> const auto& {
+    if (!salient_done[idx]) {
+      salient[idx] = workload.salient_indices(table[idx]);
+      salient_done[idx] = true;
+    }
+    return salient[idx];
+  };
+
+  sim::Time t = 0;
+  while (true) {
+    t += static_cast<sim::Time>(rng.exponential(mean_gap));
+    if (t >= params.duration) break;
+
+    const std::uint32_t prefix_idx =
+        by_rank[rng.zipf(by_rank.size(), params.zipf_s)];
+    const PrefixEntry& entry = table[prefix_idx];
+    if (entry.anns.empty()) continue;
+
+    // Pick an announcing point of this prefix (customers have their
+    // customer ASN as first_as; events apply to them the same way).
+    // Mostly target salient announcements: only changes to a router's
+    // best surface as updates in real traces.
+    std::size_t target_idx = rng.index(entry.anns.size());
+    if (rng.chance(params.salient_fraction)) {
+      const auto& candidates = salient_of(prefix_idx);
+      if (!candidates.empty()) {
+        target_idx = candidates[rng.index(candidates.size())];
+      }
+    }
+    const Announcement& target = entry.anns[target_idx];
+    const Asn peer_as = target.first_as;
+    const RouterId point = rng.chance(params.single_point_fraction)
+                               ? target.router
+                               : bgp::kNoRouter;
+
+    if (rng.chance(params.flap_fraction)) {
+      trace.events_.push_back(
+          TraceEvent{t, EventKind::kWithdraw, prefix_idx, peer_as, point});
+      const sim::Time back = t + params.flap_hold;
+      if (back < params.duration) {
+        trace.events_.push_back(TraceEvent{back, EventKind::kReannounce,
+                                           prefix_idx, peer_as, point});
+      }
+    } else if (point != bgp::kNoRouter) {
+      trace.events_.push_back(
+          TraceEvent{t, EventKind::kPathChange, prefix_idx, peer_as, point});
+    } else {
+      const EventKind kind =
+          rng.chance(0.5) ? EventKind::kMedChange : EventKind::kPathChange;
+      trace.events_.push_back(
+          TraceEvent{t, kind, prefix_idx, peer_as, bgp::kNoRouter});
+    }
+  }
+  // eBGP session resets: pick a peering point, withdraw everything it
+  // announces in one burst, restore it after the hold time.
+  if (params.session_resets_per_hour > 0) {
+    // (point_router, peer_as) -> prefixes announced there.
+    std::map<std::pair<RouterId, Asn>, std::vector<std::uint32_t>> by_point;
+    for (std::uint32_t i = 0; i < table.size(); ++i) {
+      for (const Announcement& a : table[i].anns) {
+        auto& list = by_point[{a.router, a.first_as}];
+        if (list.empty() || list.back() != i) list.push_back(i);
+      }
+    }
+    if (!by_point.empty()) {
+      std::vector<const std::pair<const std::pair<RouterId, Asn>,
+                                  std::vector<std::uint32_t>>*>
+          points;
+      for (const auto& kv : by_point) points.push_back(&kv);
+      const double mean_gap = 3600.0 * static_cast<double>(sim::kSecond) /
+                              params.session_resets_per_hour;
+      sim::Time rt = 0;
+      for (;;) {
+        rt += static_cast<sim::Time>(rng.exponential(mean_gap));
+        if (rt >= params.duration) break;
+        const auto* point = points[rng.index(points.size())];
+        const auto [router, peer_as] = point->first;
+        for (const std::uint32_t idx : point->second) {
+          trace.events_.push_back(
+              TraceEvent{rt, EventKind::kWithdraw, idx, peer_as, router});
+          const sim::Time back = rt + params.session_reset_hold;
+          if (back < params.duration) {
+            trace.events_.push_back(TraceEvent{back, EventKind::kReannounce,
+                                               idx, peer_as, router});
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(trace.events_.begin(), trace.events_.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.at < b.at;
+            });
+  return trace;
+}
+
+}  // namespace abrr::trace

@@ -1,0 +1,87 @@
+// Synthetic BGP update trace: the compressed stand-in for the paper's
+// two-week Tier-1 update feed (§4). Events are routing changes at the AS
+// edge: session flaps (withdraw + re-announce), MED changes, and AS-path
+// changes, with Zipf-skewed prefix popularity (a small set of unstable
+// prefixes generates most updates, as in real traces).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+#include "trace/workload.h"
+
+namespace abrr::trace {
+
+enum class EventKind : std::uint8_t {
+  kWithdraw,    // peer AS withdraws the prefix at all its points
+  kReannounce,  // ...and brings it back (tail of a flap)
+  kMedChange,   // peer AS re-announces with new MEDs
+  kPathChange,  // peer AS re-announces with a new path length
+};
+
+struct TraceEvent {
+  sim::Time at = 0;
+  EventKind kind = EventKind::kMedChange;
+  std::uint32_t prefix_idx = 0;  // index into the Workload table
+  Asn peer_as = 0;               // affected announcing AS
+  /// Affected peering point (kNoRouter = every point of peer_as). Most
+  /// real churn is per-session: a flap or path change at one entry
+  /// point, leaving the AS's other points untouched.
+  RouterId point_router = bgp::kNoRouter;
+};
+
+struct TraceParams {
+  /// Trace duration in simulated time (the paper's two weeks, compressed;
+  /// EXPERIMENTS.md records the scaling).
+  sim::Time duration = sim::sec(600);
+  double events_per_second = 20.0;
+  /// Zipf exponent over prefixes (heavy hitters dominate updates).
+  double zipf_s = 1.1;
+  /// Fraction of events that are flaps (withdraw + re-announce).
+  double flap_fraction = 0.4;
+  sim::Time flap_hold = sim::sec(20);
+  /// Fraction of events confined to a single peering point (session
+  /// flap / path change there); the rest hit every point of the AS
+  /// (policy changes). MED changes are always AS-wide: with the
+  /// uniform-peer-MED policy a MED moves as one value.
+  double single_point_fraction = 0.8;
+  /// Fraction of single-point events targeting a SALIENT announcement
+  /// (one that is its border router's current best). Real traces are
+  /// made of exactly such changes — a non-best announcement changing
+  /// produces no update at all — so this is high by default.
+  double salient_fraction = 0.85;
+  /// eBGP session resets per simulated hour: a peering point goes down
+  /// (every prefix it announces is withdrawn at once — the bursty
+  /// events that dominate real feeds) and comes back after
+  /// session_reset_hold.
+  double session_resets_per_hour = 6.0;
+  sim::Time session_reset_hold = sim::sec(45);
+};
+
+/// An ordered list of edge events.
+class UpdateTrace {
+ public:
+  static UpdateTrace generate(const TraceParams& params,
+                              const Workload& workload, sim::Rng& rng);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::vector<TraceEvent>& mutable_events() { return events_; }
+  sim::Time duration() const { return duration_; }
+
+  /// Reassembles a trace from stored parts (MRT deserialization).
+  static UpdateTrace from_events(std::vector<TraceEvent> events,
+                                 sim::Time duration) {
+    UpdateTrace t;
+    t.events_ = std::move(events);
+    t.duration_ = duration;
+    return t;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  sim::Time duration_ = 0;
+};
+
+}  // namespace abrr::trace

@@ -1,0 +1,136 @@
+// Synthetic Tier-1 BGP workload calibrated to the paper's published
+// statistics (§3.1, §4): 416K prefixes, 76% from peer ASes, 25 peer ASes
+// at ~8 peering points each, and 10.2 best AS-level routes per prefix on
+// peer-learned prefixes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/decision.h"
+#include "bgp/prefix.h"
+#include "bgp/route.h"
+#include "sim/random.h"
+#include "topo/topology.h"
+
+namespace abrr::trace {
+
+using bgp::Asn;
+using bgp::Ipv4Prefix;
+using bgp::RouterId;
+
+/// One eBGP announcement of a prefix at one peering point (or one
+/// customer attachment).
+struct Announcement {
+  RouterId router = bgp::kNoRouter;    // our border router
+  RouterId neighbor = 0;               // eBGP neighbor session
+  Asn first_as = 0;                    // neighboring AS
+  std::uint8_t path_length = 1;        // total AS-path length
+  std::optional<std::uint32_t> med;
+  std::uint32_t local_pref = bgp::kDefaultLocalPref;
+  Asn origin_as = 0;
+  /// Runtime state (not serialized): true while this announcement is
+  /// withdrawn by a trace event, so ground-truth queries skip it.
+  bool down = false;
+
+  /// Materializes the eBGP route (AS path synthesized from first/origin
+  /// AS and length).
+  bgp::Route to_route(const Ipv4Prefix& prefix) const;
+};
+
+/// All announcements of one prefix across the AS edge.
+struct PrefixEntry {
+  Ipv4Prefix prefix;
+  bool from_peers = false;  // peer-learned vs customer/static
+  std::vector<Announcement> anns;
+};
+
+/// Workload tunables. Defaults reproduce the paper's aggregate numbers
+/// at 1/8 scale.
+struct WorkloadParams {
+  std::size_t prefixes = 52'000;
+  double peer_fraction = 0.76;
+  /// Probability a given peer AS carries a path to a given peer prefix.
+  double peer_announce_prob = 0.60;
+  /// Probability that an announcing AS's path ties at the global minimum
+  /// length. Together with point_tie_prob, calibrated so peer-learned
+  /// prefixes average ~10.2 best AS-level routes with 25 peer ASes at 8
+  /// peering points each — the paper's Tier-1 measurement (§4).
+  double path_tie_prob = 0.335;
+  /// Probability that a given peering point of an announcing AS hears
+  /// the AS's shortest path (other points hear one hop longer). Models
+  /// per-entry-point path diversity inside one neighbor AS.
+  double point_tie_prob = 0.25;
+  /// Give peer routes diverse per-point MEDs drawn from
+  /// {0, 10, .., 10*(med_levels-1)}. Off by default: large ISPs zero
+  /// MEDs on peer routes precisely because cross-cluster MED diversity
+  /// triggers the RFC 3345 oscillations under TBRR (our TBRR testbed
+  /// reproduces them when this is enabled — see the ablation bench).
+  bool per_point_meds = false;
+  std::uint32_t med_levels = 4;
+  std::uint32_t peer_local_pref = 80;
+  std::uint32_t customer_local_pref = 100;
+  /// Customer prefixes attach at this many access routers (1..n).
+  std::uint32_t max_customer_attachments = 2;
+};
+
+/// A complete RIB snapshot: what every border router hears from eBGP.
+class Workload {
+ public:
+  /// Generates the snapshot over a topology. Deterministic per rng state.
+  static Workload generate(const WorkloadParams& params,
+                           const topo::Topology& topo, sim::Rng& rng);
+
+  const std::vector<PrefixEntry>& table() const { return table_; }
+  const WorkloadParams& params() const { return params_; }
+
+  std::size_t prefix_count() const { return table_.size(); }
+
+  /// All prefixes (for PrefixIndex / partition balancing).
+  std::vector<Ipv4Prefix> prefixes() const;
+
+  /// Indices into entry.anns of the announcements that are their border
+  /// router's best for this prefix — the routes that actually surface
+  /// as iBGP activity when they change (real update traces consist of
+  /// exactly these).
+  std::vector<std::size_t> salient_indices(
+      const PrefixEntry& entry, const bgp::DecisionConfig& cfg = {}) const;
+
+  /// Best AS-level routes for one prefix, restricted to announcements
+  /// from `peer_ases` (nullopt = all peers) plus, when
+  /// `include_customers`, customer/static announcements. This is the
+  /// §3.1 measurement behind Figure 3.
+  std::vector<bgp::Route> best_as_level_for(
+      const PrefixEntry& entry, std::span<const Asn> peer_ases,
+      bool include_customers, const bgp::DecisionConfig& cfg = {}) const;
+
+  /// Average #BAL per prefix over the workload for a random subset of
+  /// `num_peer_ases` peer ASes: the two curves of Figure 3.
+  struct BalPoint {
+    double peer_only = 0;    // "Peer ASes Only"
+    double all_sources = 0;  // "All Sources"
+  };
+  BalPoint average_bal(const topo::Topology& topo, std::size_t num_peer_ases,
+                       sim::Rng& rng,
+                       const bgp::DecisionConfig& cfg = {}) const;
+
+  /// Mutable access for trace replay (events rewrite announcements).
+  std::vector<PrefixEntry>& mutable_table() { return table_; }
+
+  /// Reassembles a workload from stored parts (MRT deserialization).
+  static Workload from_parts(WorkloadParams params,
+                             std::vector<PrefixEntry> table) {
+    Workload w;
+    w.params_ = params;
+    w.table_ = std::move(table);
+    return w;
+  }
+
+ private:
+  WorkloadParams params_;
+  std::vector<PrefixEntry> table_;
+};
+
+}  // namespace abrr::trace

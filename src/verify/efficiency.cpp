@@ -1,0 +1,54 @@
+#include "verify/efficiency.h"
+
+#include <algorithm>
+
+namespace abrr::verify {
+
+EfficiencyReport audit_efficiency(harness::Testbed& testbed,
+                                  const trace::Workload& edge,
+                                  const bgp::DecisionConfig& decision) {
+  EfficiencyReport report;
+  auto& spf = testbed.spf();
+
+  for (const trace::PrefixEntry& entry : edge.table()) {
+    // Ground truth: the AS-wide best AS-level routes and their egresses.
+    const auto as_best = edge.best_as_level_for(
+        entry, /*peer_ases=*/{}, /*include_customers=*/true, decision);
+    if (as_best.empty()) continue;
+    std::vector<bgp::RouterId> egresses;
+    for (const auto& r : as_best) egresses.push_back(r.egress());
+
+    for (const bgp::RouterId client : testbed.client_ids()) {
+      const bgp::Route* best =
+          testbed.speaker(client).loc_rib().best(entry.prefix);
+      if (best == nullptr) continue;
+      ++report.checked;
+
+      const auto dist = [&](bgp::RouterId egress) {
+        return client == egress
+                   ? igp::Metric{0}
+                   : spf.distance(client, egress);
+      };
+      igp::Metric optimal = bgp::kIgpInfinity;
+      for (const bgp::RouterId e : egresses) {
+        optimal = std::min(optimal, dist(e));
+      }
+      const bgp::RouterId chosen = best->egress();
+      if (std::find(egresses.begin(), egresses.end(), chosen) ==
+          egresses.end()) {
+        ++report.off_as_level_set;
+        continue;
+      }
+      const igp::Metric actual = dist(chosen);
+      if (actual > optimal) {
+        ++report.inefficient;
+        const double extra = static_cast<double>(actual - optimal);
+        report.total_extra_metric += extra;
+        report.max_extra_metric = std::max(report.max_extra_metric, extra);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace abrr::verify

@@ -1,0 +1,38 @@
+// Path-efficiency audit (§2.3.3).
+//
+// For every (client, prefix), compare the IGP distance to the egress the
+// client chose against the closest egress among the AS's best AS-level
+// routes (hot-potato optimum). Full-mesh and ABRR achieve zero extra
+// metric; TBRR picks up inefficiency whenever a TRR's vantage point
+// hides the closer exit.
+#pragma once
+
+#include <span>
+
+#include "harness/testbed.h"
+#include "trace/workload.h"
+
+namespace abrr::verify {
+
+struct EfficiencyReport {
+  std::size_t checked = 0;           // (client, prefix) pairs with a route
+  std::size_t inefficient = 0;       // chose a farther-than-optimal egress
+  std::size_t off_as_level_set = 0;  // chose an egress not AS-level best
+  double total_extra_metric = 0;     // sum of (chosen - optimal) distances
+  double max_extra_metric = 0;
+
+  double avg_extra() const {
+    return checked ? total_extra_metric / static_cast<double>(checked) : 0;
+  }
+  bool efficient() const {
+    return inefficient == 0 && off_as_level_set == 0;
+  }
+};
+
+/// Audits the testbed's steady state against ground truth: `edge` is the
+/// regenerator's current view of what every border router hears.
+EfficiencyReport audit_efficiency(harness::Testbed& testbed,
+                                  const trace::Workload& edge,
+                                  const bgp::DecisionConfig& decision = {});
+
+}  // namespace abrr::verify

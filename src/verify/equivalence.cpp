@@ -1,0 +1,33 @@
+#include "verify/equivalence.h"
+
+#include <algorithm>
+
+namespace abrr::verify {
+
+EquivalenceReport compare_loc_ribs(harness::Testbed& a, harness::Testbed& b,
+                                   std::span<const bgp::Ipv4Prefix> prefixes,
+                                   std::size_t max_report) {
+  EquivalenceReport report;
+  std::size_t diverged = 0;
+  for (const bgp::RouterId client : a.client_ids()) {
+    if (!b.has_speaker(client)) continue;
+    auto& sa = a.speaker(client);
+    auto& sb = b.speaker(client);
+    for (const bgp::Ipv4Prefix& prefix : prefixes) {
+      const bgp::Route* ra = sa.loc_rib().best(prefix);
+      const bgp::Route* rb = sb.loc_rib().best(prefix);
+      ++report.compared;
+      const bgp::RouterId ea = ra ? ra->egress() : bgp::kNoRouter;
+      const bgp::RouterId eb = rb ? rb->egress() : bgp::kNoRouter;
+      if (ea == eb) continue;
+      ++diverged;
+      if (report.divergences.size() < max_report) {
+        report.divergences.push_back(Divergence{client, prefix, ea, eb});
+      }
+    }
+  }
+  report.divergence_count = diverged;
+  return report;
+}
+
+}  // namespace abrr::verify

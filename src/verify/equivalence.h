@@ -1,0 +1,37 @@
+// Full-mesh equivalence check (§2.2): in steady state, every ABRR client
+// must have selected the same egress it would have selected under
+// full-mesh iBGP.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "harness/testbed.h"
+
+namespace abrr::verify {
+
+/// One (router, prefix) pair whose chosen egress differs.
+struct Divergence {
+  bgp::RouterId router = bgp::kNoRouter;
+  bgp::Ipv4Prefix prefix;
+  bgp::RouterId egress_a = bgp::kNoRouter;  // kNoRouter = no route
+  bgp::RouterId egress_b = bgp::kNoRouter;
+};
+
+struct EquivalenceReport {
+  std::size_t compared = 0;
+  /// Total diverging pairs (examples below are capped at max_report).
+  std::size_t divergence_count = 0;
+  std::vector<Divergence> divergences;
+
+  bool equivalent() const { return divergence_count == 0; }
+};
+
+/// Compares the steady-state Loc-RIBs of two testbeds over the clients
+/// they share. `max_report` caps the recorded divergences (counting
+/// continues).
+EquivalenceReport compare_loc_ribs(harness::Testbed& a, harness::Testbed& b,
+                                   std::span<const bgp::Ipv4Prefix> prefixes,
+                                   std::size_t max_report = 16);
+
+}  // namespace abrr::verify

@@ -1,0 +1,83 @@
+#include "verify/forwarding.h"
+
+#include <unordered_set>
+
+namespace abrr::verify {
+
+RouterId ForwardingChecker::next_bgp_hop(RouterId at, RouterId egress) {
+  auto& spf = testbed_->spf();
+  RouterId hop = at;
+  // Cross at most the whole graph; hubs are transparent.
+  for (std::size_t guard = 0;
+       guard <= testbed_->topology().graph.node_count(); ++guard) {
+    hop = spf.next_hop(hop, egress);
+    if (hop == bgp::kNoRouter) return bgp::kNoRouter;
+    if (hop == egress || testbed_->has_speaker(hop)) return hop;
+  }
+  return bgp::kNoRouter;
+}
+
+WalkResult ForwardingChecker::walk(RouterId from, const Ipv4Prefix& prefix) {
+  WalkResult result;
+  std::unordered_set<RouterId> visited;
+  RouterId at = from;
+
+  for (;;) {
+    result.path.push_back(at);
+    if (!visited.insert(at).second) {
+      result.outcome = WalkResult::Outcome::kLoop;
+      return result;
+    }
+    if (!testbed_->has_speaker(at)) {
+      result.outcome = WalkResult::Outcome::kUnreachable;
+      return result;
+    }
+    const bgp::Route* best = testbed_->speaker(at).loc_rib().best(prefix);
+    if (best == nullptr) {
+      result.outcome = WalkResult::Outcome::kNoRoute;
+      return result;
+    }
+    const RouterId egress = best->egress();
+    if (egress == at) {
+      result.outcome = WalkResult::Outcome::kDelivered;
+      return result;
+    }
+    const RouterId next = next_bgp_hop(at, egress);
+    if (next == bgp::kNoRouter) {
+      result.outcome = WalkResult::Outcome::kUnreachable;
+      return result;
+    }
+    at = next;
+  }
+}
+
+ForwardingAudit ForwardingChecker::audit(std::span<const Ipv4Prefix> prefixes,
+                                         std::size_t max_loop_examples) {
+  ForwardingAudit audit;
+  for (std::size_t pi = 0; pi < prefixes.size(); ++pi) {
+    for (const RouterId from : testbed_->client_ids()) {
+      const WalkResult r = walk(from, prefixes[pi]);
+      ++audit.checked;
+      switch (r.outcome) {
+        case WalkResult::Outcome::kDelivered:
+          ++audit.delivered;
+          break;
+        case WalkResult::Outcome::kLoop:
+          ++audit.loops;
+          if (audit.loop_examples.size() < max_loop_examples) {
+            audit.loop_examples.emplace_back(from, pi);
+          }
+          break;
+        case WalkResult::Outcome::kNoRoute:
+          ++audit.no_route;
+          break;
+        case WalkResult::Outcome::kUnreachable:
+          ++audit.unreachable;
+          break;
+      }
+    }
+  }
+  return audit;
+}
+
+}  // namespace abrr::verify

@@ -1,0 +1,67 @@
+// Data-plane forwarding verification (§2.3.2).
+//
+// Packets are forwarded hop by hop: every BGP router on the path makes
+// its own egress decision from its Loc-RIB, then hands the packet to the
+// IGP next hop toward that egress (PoP hubs are transparent forwarding
+// devices). Inconsistent egress choices between routers deflect packets
+// and can loop them — the anomaly TBRR permits and ABRR provably avoids.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "harness/testbed.h"
+
+namespace abrr::verify {
+
+using bgp::Ipv4Prefix;
+using bgp::RouterId;
+
+/// Outcome of forwarding one packet.
+struct WalkResult {
+  enum class Outcome {
+    kDelivered,    // reached the egress border router
+    kLoop,         // revisited a BGP router: forwarding loop
+    kNoRoute,      // a router on the path had no route
+    kUnreachable,  // IGP could not reach the chosen egress
+  };
+  Outcome outcome = Outcome::kNoRoute;
+  /// BGP routers traversed, in order (first = source).
+  std::vector<RouterId> path;
+};
+
+/// Summary over many (source, prefix) pairs.
+struct ForwardingAudit {
+  std::size_t checked = 0;
+  std::size_t delivered = 0;
+  std::size_t loops = 0;
+  std::size_t no_route = 0;
+  std::size_t unreachable = 0;
+  /// Example loop (source, prefix index into the audited span).
+  std::vector<std::pair<RouterId, std::size_t>> loop_examples;
+
+  bool clean() const { return loops == 0 && unreachable == 0; }
+};
+
+class ForwardingChecker {
+ public:
+  explicit ForwardingChecker(harness::Testbed& testbed)
+      : testbed_(&testbed) {}
+
+  /// Forwards one packet from `from` toward `prefix`.
+  WalkResult walk(RouterId from, const Ipv4Prefix& prefix);
+
+  /// Walks every (data-plane client, prefix) pair.
+  ForwardingAudit audit(std::span<const Ipv4Prefix> prefixes,
+                        std::size_t max_loop_examples = 8);
+
+ private:
+  /// Next BGP router on the IGP shortest path toward `egress`,
+  /// skipping transparent hub nodes.
+  RouterId next_bgp_hop(RouterId at, RouterId egress);
+
+  harness::Testbed* testbed_;
+};
+
+}  // namespace abrr::verify

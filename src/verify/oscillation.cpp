@@ -1,0 +1,33 @@
+#include "verify/oscillation.h"
+
+#include <algorithm>
+
+namespace abrr::verify {
+
+void OscillationMonitor::attach(ibgp::Speaker& speaker) {
+  const bgp::RouterId id = speaker.id();
+  speaker.set_best_change_hook(
+      [this, id](const bgp::Ipv4Prefix& prefix, const bgp::Route*) {
+        ++flips_[Key{id, prefix}];
+      });
+}
+
+std::size_t OscillationMonitor::max_flips() const {
+  std::size_t best = 0;
+  for (const auto& [key, count] : flips_) best = std::max(best, count);
+  return best;
+}
+
+std::size_t OscillationMonitor::total_flips() const {
+  std::size_t sum = 0;
+  for (const auto& [key, count] : flips_) sum += count;
+  return sum;
+}
+
+std::size_t OscillationMonitor::flips(bgp::RouterId router,
+                                      const bgp::Ipv4Prefix& p) const {
+  const auto it = flips_.find(Key{router, p});
+  return it == flips_.end() ? 0 : it->second;
+}
+
+}  // namespace abrr::verify

@@ -1,0 +1,51 @@
+// Oscillation detection (§2.3.1).
+//
+// Attaches to speakers' best-change hooks and counts per-(router, prefix)
+// best-route flips. With no external input arriving, a converging system
+// flips each pair only a handful of times; MED-based or topology-based
+// oscillations flip indefinitely (bounded in a run only by the event cap).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ibgp/speaker.h"
+
+namespace abrr::verify {
+
+class OscillationMonitor {
+ public:
+  /// `flip_threshold`: flips of one (router, prefix) beyond which the
+  /// system is declared oscillating.
+  explicit OscillationMonitor(std::size_t flip_threshold = 20)
+      : threshold_(flip_threshold) {}
+
+  /// Installs the hook on a speaker. One monitor serves many speakers.
+  void attach(ibgp::Speaker& speaker);
+
+  /// Forgets all recorded flips (e.g. after the initial convergence,
+  /// before the phase under test).
+  void reset() { flips_.clear(); }
+
+  std::size_t max_flips() const;
+  std::size_t total_flips() const;
+  std::size_t flips(bgp::RouterId router, const bgp::Ipv4Prefix& p) const;
+  bool oscillating() const { return max_flips() > threshold_; }
+
+ private:
+  struct Key {
+    bgp::RouterId router;
+    bgp::Ipv4Prefix prefix;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<bgp::Ipv4Prefix>{}(k.prefix) * 1000003u ^ k.router;
+    }
+  };
+
+  std::size_t threshold_;
+  std::unordered_map<Key, std::size_t, KeyHash> flips_;
+};
+
+}  // namespace abrr::verify

@@ -1,0 +1,58 @@
+#include "analysis/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace abrr::analysis {
+namespace {
+
+TEST(FitLine, RecoversExactLine) {
+  const std::vector<double> xs{0, 1, 2, 3, 4};
+  const std::vector<double> ys{1, 3, 5, 7, 9};  // y = 2x + 1
+  const auto fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+  EXPECT_NEAR(fit(10), 21.0, 1e-9);
+}
+
+TEST(FitLine, NoisyDataStillClose) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.5 * i + 3 + ((i % 2 == 0) ? 0.2 : -0.2));
+  }
+  const auto fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 3.0, 0.2);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(fit_line(one, one), std::invalid_argument);
+  const std::vector<double> xs{2, 2, 2};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_THROW(fit_line(xs, ys), std::invalid_argument);
+  const std::vector<double> mismatched{1, 2};
+  EXPECT_THROW(fit_line(mismatched, ys), std::invalid_argument);
+}
+
+TEST(BalModel, DefaultAnchorsMatchPaper) {
+  const BalModel model;
+  // 10.2 best AS-level routes per prefix at 25 peer ASes (§4).
+  EXPECT_NEAR(model(25), 10.2, 1e-9);
+  // Never below the single-path floor.
+  EXPECT_DOUBLE_EQ(model(0), 1.0);
+  EXPECT_DOUBLE_EQ(model(-5), 1.0);
+}
+
+TEST(BalModel, CustomFit) {
+  const BalModel model{LinearFit{0.4, 2.0, 0.98}};
+  EXPECT_NEAR(model(20), 10.0, 1e-9);
+  EXPECT_NEAR(model.fit().r2, 0.98, 1e-9);
+}
+
+}  // namespace
+}  // namespace abrr::analysis

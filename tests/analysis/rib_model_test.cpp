@@ -1,0 +1,125 @@
+// Appendix A closed forms, checked against hand-computed values at the
+// paper's default parameters (2000 routers, 50 APs/clusters, 2 RRs per
+// AP/cluster, 30 peer ASes, 400K prefixes).
+#include "analysis/rib_model.h"
+
+#include <gtest/gtest.h>
+
+namespace abrr::analysis {
+namespace {
+
+ModelParams defaults(double bal = 12.0) {
+  ModelParams p;
+  p.prefixes = 400'000;
+  p.aps = 50;
+  p.rrs = 100;
+  p.bal = bal;
+  return p;
+}
+
+TEST(AbrrModel, ManagedIsBalTimesPrefixesPerAp) {
+  const auto p = defaults();
+  EXPECT_DOUBLE_EQ(AbrrModel::rib_in_managed(p), 12.0 * 400'000 / 50);
+}
+
+TEST(AbrrModel, UnmanagedIsOnePerRedundantArrPerForeignPrefix) {
+  const auto p = defaults();
+  // (#ARRs/#APs) x #Prefixes x (1 - 1/#APs) = 2 x 400K x 0.98
+  EXPECT_DOUBLE_EQ(AbrrModel::rib_in_unmanaged(p), 2.0 * 400'000 * 0.98);
+}
+
+TEST(AbrrModel, RibOutEqualsManaged) {
+  const auto p = defaults();
+  EXPECT_DOUBLE_EQ(AbrrModel::rib_out(p), AbrrModel::rib_in_managed(p));
+}
+
+TEST(TbrrModel, GCapsAtPrefixesWhenBalExceedsClusters) {
+  auto p = defaults(12.0);
+  EXPECT_DOUBLE_EQ(TbrrModel::g(p), 12.0 / 50 * 400'000);
+  p.bal = 60.0;  // >= #clusters
+  EXPECT_DOUBLE_EQ(TbrrModel::g(p), 400'000);
+}
+
+TEST(TbrrModel, RibInDominatedByOtherTrrs) {
+  const auto p = defaults();
+  const double g = 12.0 / 50 * 400'000;  // 96K
+  EXPECT_DOUBLE_EQ(TbrrModel::rib_in_managed(p), g);
+  EXPECT_DOUBLE_EQ(TbrrModel::rib_in_unmanaged(p), g * 99);
+  EXPECT_DOUBLE_EQ(TbrrModel::rib_in(p), g * 100);
+}
+
+TEST(TbrrModel, RibOutCountsTrrRoutesTwice) {
+  const auto p = defaults();
+  const double g = 96'000;
+  EXPECT_DOUBLE_EQ(TbrrModel::rib_out(p), g * 2 + (400'000 - g));
+}
+
+TEST(TbrrMultiModel, NeverCapsAdvertisedRoutes) {
+  const auto p = defaults();
+  const double m = 96'000;
+  EXPECT_DOUBLE_EQ(TbrrMultiModel::rib_in_managed(p), m);
+  EXPECT_DOUBLE_EQ(TbrrMultiModel::rib_in_unmanaged(p), m * 99);
+  EXPECT_DOUBLE_EQ(TbrrMultiModel::rib_out(p), m * 2 + m * 99);
+}
+
+TEST(Models, PaperHeadline_AbrrOrderOfMagnitudeSmaller) {
+  // The headline of Figures 4 and 5: ABRR's RIBs are substantially
+  // smaller than TBRR's at the default settings.
+  const auto p = defaults();
+  EXPECT_GT(TbrrModel::rib_in(p) / AbrrModel::rib_in(p), 5.0);
+  EXPECT_GT(TbrrModel::rib_out(p) / AbrrModel::rib_out(p), 4.0);
+  EXPECT_GT(TbrrMultiModel::rib_in(p), TbrrModel::rib_in(p) * 0.99);
+}
+
+TEST(Models, Fig4b_ApBenefitReachesDiminishingReturns) {
+  // RIB-In benefit from more APs flattens: the unmanaged (DFZ) share
+  // dominates (§3.2).
+  auto p = defaults();
+  p.aps = 10;
+  p.rrs = 20;
+  const double at10 = AbrrModel::rib_in(p);
+  p.aps = 50;
+  p.rrs = 100;
+  const double at50 = AbrrModel::rib_in(p);
+  p.aps = 100;
+  p.rrs = 200;
+  const double at100 = AbrrModel::rib_in(p);
+  EXPECT_LT(at50, at10);
+  // Going 50 -> 100 saves far less than 10 -> 50.
+  EXPECT_LT(at50 - at100, (at10 - at50) / 2);
+}
+
+TEST(Models, Fig5b_RibOutShrinksSteadilyWithAps) {
+  auto p = defaults();
+  double prev = 1e18;
+  for (const double aps : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+    p.aps = aps;
+    p.rrs = 2 * aps;
+    const double out = AbrrModel::rib_out(p);
+    EXPECT_LT(out, prev);
+    prev = out;
+  }
+}
+
+TEST(Models, Fig4a_RouterCountDoesNotChangeRrRibs) {
+  // Neither model depends on the router count directly -- the paper's
+  // Figure 4(a) plots flat lines for all three schemes.
+  const auto p = defaults();
+  const auto q = defaults();
+  EXPECT_DOUBLE_EQ(AbrrModel::rib_in(p), AbrrModel::rib_in(q));
+}
+
+TEST(Models, Fig4c_RedundancyGrowsAbrrRibInOnly) {
+  auto p = defaults();
+  const double base = AbrrModel::rib_in(p);
+  p.rrs = 200;  // 4 ARRs per AP
+  EXPECT_GT(AbrrModel::rib_in(p), base);
+  // TBRR RIB-Out is redundancy-independent.
+  auto t1 = defaults();
+  auto t2 = defaults();
+  t2.rrs = 200;
+  EXPECT_DOUBLE_EQ(TbrrModel::rib_out(t1), TbrrModel::rib_out(t2));
+}
+
+}  // namespace
+}  // namespace abrr::analysis

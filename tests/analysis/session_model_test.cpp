@@ -1,0 +1,59 @@
+#include "analysis/session_model.h"
+
+#include <gtest/gtest.h>
+
+namespace abrr::analysis {
+namespace {
+
+SessionParams paper() {
+  SessionParams p;
+  p.routers = 2000;
+  p.aps = 50;
+  p.rrs_per_group = 2;
+  return p;
+}
+
+TEST(SessionModel, ArrPeersWithEveryRouterPlusOtherArrs) {
+  // 2000 clients + 49 other APs x 2 ARRs.
+  EXPECT_DOUBLE_EQ(SessionModel::arr_sessions(paper()), 2000 + 98);
+}
+
+TEST(SessionModel, TrrPeersWithClusterAndMesh) {
+  // 40 clients per cluster + 98 foreign TRRs.
+  EXPECT_DOUBLE_EQ(SessionModel::trr_sessions(paper()), 40 + 98);
+}
+
+TEST(SessionModel, PaperAnchors) {
+  // §3.3: in the ~1000-router, 27-cluster AS the average TRR has ~100
+  // sessions while an ARR would need >1000.
+  SessionParams p;
+  p.routers = 1000;
+  p.aps = 27;
+  EXPECT_NEAR(SessionModel::trr_sessions(p), 89, 2);  // ~100 in the paper
+  EXPECT_GT(SessionModel::arr_sessions(p), 1000);
+}
+
+TEST(SessionModel, ClientCounts) {
+  SessionParams p = paper();
+  p.aps = 15;  // the recommended 10-15 APs
+  EXPECT_DOUBLE_EQ(SessionModel::abrr_client_sessions(p), 30);  // 20-30
+  EXPECT_DOUBLE_EQ(SessionModel::tbrr_client_sessions(p), 2);
+}
+
+TEST(SessionModel, TotalsOrdering) {
+  const auto p = paper();
+  EXPECT_LT(SessionModel::tbrr_total(p), SessionModel::abrr_total(p));
+  EXPECT_LT(SessionModel::abrr_total(p), SessionModel::full_mesh_total(p));
+  EXPECT_DOUBLE_EQ(SessionModel::full_mesh_total(p), 2000.0 * 1999 / 2);
+}
+
+TEST(SessionModel, AbrrTotalMatchesConstruction) {
+  // 100 ARRs x 2000 clients + cross-AP ARR pairs: C(100,2) minus the
+  // 50 same-AP pairs.
+  const auto p = paper();
+  EXPECT_DOUBLE_EQ(SessionModel::abrr_total(p),
+                   100.0 * 2000 + (100.0 * 98) / 2);
+}
+
+}  // namespace
+}  // namespace abrr::analysis

@@ -1,0 +1,143 @@
+// Property tests for the decision process over randomized candidate
+// sets (parameterized by seed).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bgp/decision.h"
+#include "sim/random.h"
+
+namespace abrr::bgp {
+namespace {
+
+const Ipv4Prefix kPfx = Ipv4Prefix::parse("10.0.0.0/8");
+
+std::vector<Route> random_candidates(sim::Rng& rng, std::size_t n) {
+  std::vector<Route> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    RouteBuilder b{kPfx};
+    b.path_id(static_cast<PathId>(i + 1))
+        .local_pref(static_cast<std::uint32_t>(80 + 10 * rng.index(3)))
+        .as_path({static_cast<Asn>(7000 + rng.index(5)), 64512,
+                  static_cast<Asn>(30000 + rng.index(3))})
+        .origin(static_cast<Origin>(rng.index(3)))
+        .next_hop(static_cast<RouterId>(1 + rng.index(6)))
+        .learned_from(static_cast<RouterId>(100 + i),
+                      rng.chance(0.7) ? LearnedVia::kIbgp
+                                      : LearnedVia::kEbgp);
+    if (rng.chance(0.7)) b.med(10 * static_cast<std::uint32_t>(rng.index(4)));
+    // Occasionally pad the path (longer).
+    if (rng.chance(0.3)) {
+      b.as_path({static_cast<Asn>(7000 + rng.index(5)), 64512, 64512,
+                 static_cast<Asn>(30000 + rng.index(3))});
+    }
+    out.push_back(b.build());
+  }
+  return out;
+}
+
+bool in_set(const Route& r, const std::vector<Route>& set) {
+  return std::any_of(set.begin(), set.end(), [&](const Route& s) {
+    return s.path_id == r.path_id;
+  });
+}
+
+class DecisionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecisionProperty, BestIsAlwaysInTheBestAsLevelSet) {
+  sim::Rng rng{GetParam()};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto candidates =
+        random_candidates(rng, 1 + rng.index(20));
+    const auto set = best_as_level_routes(candidates);
+    const Route best = select_best_no_igp(candidates);
+    ASSERT_TRUE(best.valid());
+    EXPECT_TRUE(in_set(best, set));
+  }
+}
+
+TEST_P(DecisionProperty, SetIsStableUnderRemovingLosers) {
+  // Dropping any non-survivor must not change the survivor set.
+  sim::Rng rng{GetParam()};
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto candidates = random_candidates(rng, 2 + rng.index(15));
+    const auto set = best_as_level_routes(candidates);
+    std::vector<Route> pruned;
+    for (const Route& r : candidates) {
+      if (in_set(r, set)) pruned.push_back(r);
+    }
+    const auto set2 = best_as_level_routes(pruned);
+    ASSERT_EQ(set.size(), set2.size());
+    for (const auto& r : set) EXPECT_TRUE(in_set(r, set2));
+  }
+}
+
+TEST_P(DecisionProperty, SurvivorsShareAsLevelKeys) {
+  // All survivors tie on local-pref, path length and origin.
+  sim::Rng rng{GetParam()};
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto set =
+        best_as_level_routes(random_candidates(rng, 1 + rng.index(20)));
+    ASSERT_FALSE(set.empty());
+    for (const Route& r : set) {
+      EXPECT_EQ(r.attrs->local_pref, set.front().attrs->local_pref);
+      EXPECT_EQ(r.attrs->as_path.length(),
+                set.front().attrs->as_path.length());
+      EXPECT_EQ(r.attrs->origin, set.front().attrs->origin);
+    }
+  }
+}
+
+TEST_P(DecisionProperty, PerGroupMedMinimality) {
+  // Within each neighbor-AS group, every survivor carries the group's
+  // minimum MED among the AS-level candidates.
+  sim::Rng rng{GetParam()};
+  DecisionConfig cfg;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto candidates = random_candidates(rng, 2 + rng.index(18));
+    const auto pre = filter_as_level_pre_med(candidates);
+    const auto set = best_as_level_routes(candidates, cfg);
+    for (const Route& r : set) {
+      for (const Route& other : pre) {
+        if (other.neighbor_as() != r.neighbor_as()) continue;
+        EXPECT_LE(cfg.med_of(r), cfg.med_of(other));
+      }
+    }
+  }
+}
+
+TEST_P(DecisionProperty, SelectionIsOrderInvariant) {
+  sim::Rng rng{GetParam()};
+  for (int trial = 0; trial < 30; ++trial) {
+    auto candidates = random_candidates(rng, 2 + rng.index(15));
+    const Route a = select_best_no_igp(candidates);
+    rng.shuffle(std::span<Route>{candidates});
+    const Route b = select_best_no_igp(candidates);
+    ASSERT_EQ(a.valid(), b.valid());
+    if (a.valid()) EXPECT_EQ(a.path_id, b.path_id);
+  }
+}
+
+TEST_P(DecisionProperty, SequentialFoldCanDependOnOrderOnlyViaMed) {
+  // With ignore_med the vendor fold must agree with the deterministic
+  // path (the partial order collapses to a total order).
+  sim::Rng rng{GetParam()};
+  DecisionConfig fold;
+  fold.deterministic_med = false;
+  fold.ignore_med = true;
+  DecisionConfig det;
+  det.ignore_med = true;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto candidates = random_candidates(rng, 1 + rng.index(15));
+    const Route a = select_best(candidates, 1, nullptr, fold);
+    const Route b = select_best(candidates, 1, nullptr, det);
+    ASSERT_EQ(a.valid(), b.valid());
+    if (a.valid()) EXPECT_EQ(a.path_id, b.path_id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecisionProperty,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 987654u));
+
+}  // namespace
+}  // namespace abrr::bgp

@@ -1,0 +1,203 @@
+// Table 2 of the paper: the RFC 4271 decision process, and the
+// "best AS-level routes" (steps 1-4) that ARRs compute.
+#include "bgp/decision.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace abrr::bgp {
+namespace {
+
+const Ipv4Prefix kPfx = Ipv4Prefix::parse("10.0.0.0/8");
+
+Route make(PathId id, std::uint32_t lp, std::vector<Asn> path, Origin origin,
+           std::optional<std::uint32_t> med, LearnedVia via,
+           RouterId learned_from, RouterId next_hop) {
+  RouteBuilder b{kPfx};
+  b.path_id(id)
+      .local_pref(lp)
+      .as_path(AsPath{std::move(path)})
+      .origin(origin)
+      .next_hop(next_hop)
+      .learned_from(learned_from, via);
+  if (med) b.med(*med);
+  return b.build();
+}
+
+std::vector<PathId> ids(const std::vector<Route>& routes) {
+  std::vector<PathId> out;
+  for (const auto& r : routes) out.push_back(r.path_id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(Decision, Step1HighestLocalPrefWins) {
+  const std::vector<Route> routes{
+      make(1, 80, {65001}, Origin::kIgp, {}, LearnedVia::kIbgp, 11, 1),
+      make(2, 100, {65002, 65003}, Origin::kIncomplete, {},
+           LearnedVia::kIbgp, 12, 2),
+  };
+  EXPECT_EQ(select_best_no_igp(routes).path_id, 2u);
+  EXPECT_EQ(ids(best_as_level_routes(routes)), (std::vector<PathId>{2}));
+}
+
+TEST(Decision, Step2ShorterAsPathWins) {
+  const std::vector<Route> routes{
+      make(1, 100, {65001, 65002}, Origin::kIgp, {}, LearnedVia::kIbgp, 11, 1),
+      make(2, 100, {65003}, Origin::kIgp, {}, LearnedVia::kIbgp, 12, 2),
+  };
+  EXPECT_EQ(select_best_no_igp(routes).path_id, 2u);
+}
+
+TEST(Decision, Step3LowerOriginWins) {
+  const std::vector<Route> routes{
+      make(1, 100, {65001}, Origin::kIncomplete, {}, LearnedVia::kIbgp, 11, 1),
+      make(2, 100, {65002}, Origin::kEgp, {}, LearnedVia::kIbgp, 12, 2),
+      make(3, 100, {65003}, Origin::kIgp, {}, LearnedVia::kIbgp, 13, 3),
+  };
+  EXPECT_EQ(select_best_no_igp(routes).path_id, 3u);
+}
+
+TEST(Decision, Step4MedComparesOnlyWithinNeighborAs) {
+  // Same neighbor AS 65001: MED decides. Different AS 65002: immune.
+  const std::vector<Route> routes{
+      make(1, 100, {65001}, Origin::kIgp, 20, LearnedVia::kIbgp, 11, 1),
+      make(2, 100, {65001}, Origin::kIgp, 10, LearnedVia::kIbgp, 12, 2),
+      make(3, 100, {65002}, Origin::kIgp, 99, LearnedVia::kIbgp, 13, 3),
+  };
+  // Route 1 loses to route 2 (same group); route 3 survives its own group.
+  EXPECT_EQ(ids(best_as_level_routes(routes)), (std::vector<PathId>{2, 3}));
+}
+
+TEST(Decision, Step4AlwaysCompareMedIsGlobal) {
+  const std::vector<Route> routes{
+      make(1, 100, {65001}, Origin::kIgp, 20, LearnedVia::kIbgp, 11, 1),
+      make(2, 100, {65002}, Origin::kIgp, 10, LearnedVia::kIbgp, 12, 2),
+  };
+  DecisionConfig cfg;
+  cfg.always_compare_med = true;
+  EXPECT_EQ(ids(best_as_level_routes(routes, cfg)), (std::vector<PathId>{2}));
+  // Default (per-AS) keeps both.
+  EXPECT_EQ(ids(best_as_level_routes(routes)), (std::vector<PathId>{1, 2}));
+}
+
+TEST(Decision, MissingMedDefaultsToBest) {
+  const std::vector<Route> routes{
+      make(1, 100, {65001}, Origin::kIgp, {}, LearnedVia::kIbgp, 11, 1),
+      make(2, 100, {65001}, Origin::kIgp, 5, LearnedVia::kIbgp, 12, 2),
+  };
+  EXPECT_EQ(ids(best_as_level_routes(routes)), (std::vector<PathId>{1}));
+  DecisionConfig cfg;
+  cfg.missing_med_as_worst = true;
+  EXPECT_EQ(ids(best_as_level_routes(routes, cfg)), (std::vector<PathId>{2}));
+}
+
+TEST(Decision, IgnoreMedSkipsStep4) {
+  const std::vector<Route> routes{
+      make(1, 100, {65001}, Origin::kIgp, 20, LearnedVia::kIbgp, 11, 1),
+      make(2, 100, {65001}, Origin::kIgp, 10, LearnedVia::kIbgp, 12, 2),
+  };
+  DecisionConfig cfg;
+  cfg.ignore_med = true;
+  EXPECT_EQ(ids(best_as_level_routes(routes, cfg)),
+            (std::vector<PathId>{1, 2}));
+}
+
+TEST(Decision, Step5EbgpBeatsIbgp) {
+  const std::vector<Route> routes{
+      make(1, 100, {65001}, Origin::kIgp, {}, LearnedVia::kIbgp, 11, 1),
+      make(2, 100, {65002}, Origin::kIgp, {}, LearnedVia::kEbgp, 900, 50),
+  };
+  EXPECT_EQ(select_best_no_igp(routes).path_id, 2u);
+}
+
+TEST(Decision, Step6LowerIgpMetricWins) {
+  const std::vector<Route> routes{
+      make(1, 100, {65001}, Origin::kIgp, {}, LearnedVia::kIbgp, 11, 7),
+      make(2, 100, {65002}, Origin::kIgp, {}, LearnedVia::kIbgp, 12, 8),
+  };
+  const IgpDistanceFn igp = [](RouterId nh) -> std::int64_t {
+    return nh == 7 ? 100 : 10;
+  };
+  EXPECT_EQ(select_best(routes, 99, igp).path_id, 2u);
+}
+
+TEST(Decision, Step6NextHopSelfIsDistanceZero) {
+  const std::vector<Route> routes{
+      make(1, 100, {65001}, Origin::kIgp, {}, LearnedVia::kIbgp, 11, 7),
+      make(2, 100, {65002}, Origin::kIgp, {}, LearnedVia::kIbgp, 12, 99),
+  };
+  const IgpDistanceFn igp = [](RouterId) -> std::int64_t { return 5; };
+  EXPECT_EQ(select_best(routes, 99, igp).path_id, 2u);
+}
+
+TEST(Decision, UnreachableNextHopsYieldNoBest) {
+  const std::vector<Route> routes{
+      make(1, 100, {65001}, Origin::kIgp, {}, LearnedVia::kIbgp, 11, 7),
+  };
+  const IgpDistanceFn igp = [](RouterId) { return kIgpInfinity; };
+  EXPECT_FALSE(select_best(routes, 99, igp).valid());
+}
+
+TEST(Decision, Step7LowerOriginatorOrPeerWins) {
+  const std::vector<Route> routes{
+      make(1, 100, {65001}, Origin::kIgp, {}, LearnedVia::kIbgp, 30, 1),
+      make(2, 100, {65002}, Origin::kIgp, {}, LearnedVia::kIbgp, 20, 2),
+  };
+  EXPECT_EQ(select_best_no_igp(routes).path_id, 2u);
+}
+
+TEST(Decision, ShorterClusterListPreferred) {
+  RouteBuilder b1{kPfx};
+  const Route long_cl = b1.path_id(1)
+                            .as_path({65001})
+                            .next_hop(1)
+                            .cluster_list({100, 200})
+                            .learned_from(11, LearnedVia::kIbgp)
+                            .build();
+  RouteBuilder b2{kPfx};
+  const Route short_cl = b2.path_id(2)
+                             .as_path({65002})
+                             .next_hop(2)
+                             .cluster_list({100})
+                             .learned_from(99, LearnedVia::kIbgp)
+                             .build();
+  // Without the RFC 4456 refinement the lower peer id (11) would win.
+  const std::vector<Route> routes{long_cl, short_cl};
+  EXPECT_EQ(select_best_no_igp(routes).path_id, 2u);
+  DecisionConfig cfg;
+  cfg.prefer_shorter_cluster_list = false;
+  EXPECT_EQ(select_best_no_igp(routes, cfg).path_id, 1u);
+}
+
+TEST(Decision, EmptyCandidatesGiveInvalidRoute) {
+  EXPECT_FALSE(select_best_no_igp({}).valid());
+  EXPECT_TRUE(best_as_level_routes({}).empty());
+}
+
+TEST(Decision, LocallyOriginatedFormsOwnMedGroup) {
+  const std::vector<Route> routes{
+      make(1, 100, {}, Origin::kIgp, 50, LearnedVia::kLocal, 0, 99),
+      make(2, 100, {}, Origin::kIgp, 10, LearnedVia::kLocal, 0, 99),
+  };
+  // Both have empty AS path (neighbor AS 0): MED compares, lower wins.
+  EXPECT_EQ(ids(best_as_level_routes(routes)), (std::vector<PathId>{2}));
+}
+
+TEST(Decision, BestAsLevelSurvivorsAreDeterministic) {
+  // Property: the set of survivors never depends on input order.
+  std::vector<Route> routes{
+      make(1, 100, {65001}, Origin::kIgp, 10, LearnedVia::kIbgp, 11, 1),
+      make(2, 100, {65002}, Origin::kIgp, 20, LearnedVia::kIbgp, 12, 2),
+      make(3, 100, {65001}, Origin::kIgp, 10, LearnedVia::kIbgp, 13, 3),
+      make(4, 90, {65003}, Origin::kIgp, {}, LearnedVia::kIbgp, 14, 4),
+  };
+  const auto forward = ids(best_as_level_routes(routes));
+  std::reverse(routes.begin(), routes.end());
+  EXPECT_EQ(forward, ids(best_as_level_routes(routes)));
+  EXPECT_EQ(forward, (std::vector<PathId>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace abrr::bgp

@@ -1,0 +1,53 @@
+#include "bgp/prefix_index.h"
+
+#include <gtest/gtest.h>
+
+namespace abrr::bgp {
+namespace {
+
+TEST(PrefixIndex, AssignsDenseIdsInInsertionOrder) {
+  PrefixIndex index;
+  const auto a = Ipv4Prefix::parse("10.0.0.0/8");
+  const auto b = Ipv4Prefix::parse("20.0.0.0/8");
+  EXPECT_EQ(index.add(a), 0u);
+  EXPECT_EQ(index.add(b), 1u);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_EQ(index.prefix_of(0), a);
+  EXPECT_EQ(index.prefix_of(1), b);
+}
+
+TEST(PrefixIndex, AddIsIdempotent) {
+  PrefixIndex index;
+  const auto a = Ipv4Prefix::parse("10.0.0.0/8");
+  EXPECT_EQ(index.add(a), 0u);
+  EXPECT_EQ(index.add(a), 0u);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(PrefixIndex, LookupOfUnknownPrefixIsEmpty) {
+  PrefixIndex index;
+  index.add(Ipv4Prefix::parse("10.0.0.0/8"));
+  EXPECT_FALSE(index.id_of(Ipv4Prefix::parse("10.0.0.0/16")).has_value());
+  EXPECT_TRUE(index.id_of(Ipv4Prefix::parse("10.0.0.0/8")).has_value());
+}
+
+TEST(PrefixIndex, PrefixOfOutOfRangeThrows) {
+  PrefixIndex index;
+  EXPECT_THROW(index.prefix_of(0), std::out_of_range);
+}
+
+TEST(PrefixIndex, RoundTripsManyPrefixes) {
+  PrefixIndex index;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    index.add(Ipv4Prefix{i << 12, 24});
+  }
+  EXPECT_EQ(index.size(), 1000u);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    const auto id = index.id_of(Ipv4Prefix{i << 12, 24});
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(index.prefix_of(*id), (Ipv4Prefix{i << 12, 24}));
+  }
+}
+
+}  // namespace
+}  // namespace abrr::bgp

@@ -1,0 +1,96 @@
+#include "bgp/prefix.h"
+
+#include <gtest/gtest.h>
+
+namespace abrr::bgp {
+namespace {
+
+TEST(Ipv4, FormatAndParseRoundTrip) {
+  EXPECT_EQ(format_ipv4(0x0A000001), "10.0.0.1");
+  EXPECT_EQ(parse_ipv4("10.0.0.1"), 0x0A000001u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255"), 0xFFFFFFFFu);
+  EXPECT_EQ(parse_ipv4("0.0.0.0"), 0u);
+  EXPECT_THROW(parse_ipv4("10.0.0"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("10.0.0.256"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("banana"), std::invalid_argument);
+}
+
+TEST(Ipv4Prefix, MasksHostBits) {
+  const Ipv4Prefix p{0x0A0B0C0D, 16};
+  EXPECT_EQ(p.address(), 0x0A0B0000u);
+  EXPECT_EQ(p.length(), 16);
+  EXPECT_EQ(p.to_string(), "10.11.0.0/16");
+}
+
+TEST(Ipv4Prefix, ParseAndValidate) {
+  const auto p = Ipv4Prefix::parse("192.168.4.0/22");
+  EXPECT_EQ(p.length(), 22);
+  EXPECT_EQ(p.address(), parse_ipv4("192.168.4.0"));
+  EXPECT_THROW(Ipv4Prefix::parse("192.168.4.0"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Prefix::parse("192.168.4.0/33"), std::invalid_argument);
+  EXPECT_THROW((Ipv4Prefix{0, 40}), std::invalid_argument);
+}
+
+TEST(Ipv4Prefix, FirstLastMask) {
+  const auto p = Ipv4Prefix::parse("10.0.0.0/8");
+  EXPECT_EQ(p.first(), parse_ipv4("10.0.0.0"));
+  EXPECT_EQ(p.last(), parse_ipv4("10.255.255.255"));
+  EXPECT_EQ(p.mask(), 0xFF000000u);
+
+  const Ipv4Prefix all{0, 0};
+  EXPECT_EQ(all.first(), 0u);
+  EXPECT_EQ(all.last(), 0xFFFFFFFFu);
+  EXPECT_EQ(all.mask(), 0u);
+
+  const Ipv4Prefix host{parse_ipv4("1.2.3.4"), 32};
+  EXPECT_EQ(host.first(), host.last());
+}
+
+TEST(Ipv4Prefix, Containment) {
+  const auto outer = Ipv4Prefix::parse("10.0.0.0/8");
+  const auto inner = Ipv4Prefix::parse("10.1.0.0/16");
+  const auto other = Ipv4Prefix::parse("11.0.0.0/8");
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(other));
+  EXPECT_TRUE(outer.contains(parse_ipv4("10.200.0.1")));
+  EXPECT_FALSE(outer.contains(parse_ipv4("11.0.0.1")));
+}
+
+TEST(Ipv4Prefix, Overlap) {
+  const auto a = Ipv4Prefix::parse("10.0.0.0/8");
+  const auto b = Ipv4Prefix::parse("10.1.0.0/16");
+  const auto c = Ipv4Prefix::parse("12.0.0.0/8");
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Ipv4Prefix, OrderingAndEquality) {
+  const auto a = Ipv4Prefix::parse("10.0.0.0/8");
+  const auto b = Ipv4Prefix::parse("10.0.0.0/16");
+  const auto c = Ipv4Prefix::parse("10.0.0.0/8");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);  // same address, shorter length first
+}
+
+TEST(Ipv4Prefix, HashDistinguishesLengths) {
+  const std::hash<Ipv4Prefix> h;
+  EXPECT_NE(h(Ipv4Prefix::parse("10.0.0.0/8")),
+            h(Ipv4Prefix::parse("10.0.0.0/16")));
+}
+
+TEST(AddressRange, ContainsAndOverlaps) {
+  const AddressRange r{parse_ipv4("10.0.0.0"), parse_ipv4("10.255.255.255")};
+  EXPECT_TRUE(r.contains(parse_ipv4("10.5.0.1")));
+  EXPECT_FALSE(r.contains(parse_ipv4("11.0.0.0")));
+  EXPECT_TRUE(r.overlaps(Ipv4Prefix::parse("10.3.0.0/16")));
+  // Prefix straddling the upper edge still overlaps.
+  EXPECT_TRUE(r.overlaps(Ipv4Prefix::parse("10.0.0.0/7")));
+  EXPECT_FALSE(r.overlaps(Ipv4Prefix::parse("11.0.0.0/8")));
+}
+
+}  // namespace
+}  // namespace abrr::bgp

@@ -1,0 +1,108 @@
+#include "bgp/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace abrr::bgp {
+namespace {
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(Ipv4Prefix::parse("10.1.0.0/16"), 2);
+  EXPECT_EQ(trie.size(), 2u);
+  EXPECT_EQ(*trie.find(Ipv4Prefix::parse("10.0.0.0/8")), 1);
+  EXPECT_EQ(*trie.find(Ipv4Prefix::parse("10.1.0.0/16")), 2);
+  EXPECT_EQ(trie.find(Ipv4Prefix::parse("10.1.0.0/24")), nullptr);
+  EXPECT_TRUE(trie.erase(Ipv4Prefix::parse("10.0.0.0/8")));
+  EXPECT_FALSE(trie.erase(Ipv4Prefix::parse("10.0.0.0/8")));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, InsertOverwrites) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8"), 5);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.find(Ipv4Prefix::parse("10.0.0.0/8")), 5);
+}
+
+TEST(PrefixTrie, LongestMatchPicksMostSpecific) {
+  PrefixTrie<std::string> trie;
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8"), "eight");
+  trie.insert(Ipv4Prefix::parse("10.1.0.0/16"), "sixteen");
+  trie.insert(Ipv4Prefix::parse("10.1.2.0/24"), "twentyfour");
+
+  const auto hit = trie.longest_match(parse_ipv4("10.1.2.3"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit->second, "twentyfour");
+  EXPECT_EQ(hit->first, Ipv4Prefix::parse("10.1.2.0/24"));
+
+  const auto mid = trie.longest_match(parse_ipv4("10.1.9.1"));
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(*mid->second, "sixteen");
+
+  const auto top = trie.longest_match(parse_ipv4("10.200.0.1"));
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(*top->second, "eight");
+
+  EXPECT_FALSE(trie.longest_match(parse_ipv4("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix{0, 0}, 42);
+  const auto hit = trie.longest_match(parse_ipv4("203.0.113.9"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit->second, 42);
+  EXPECT_EQ(hit->first.length(), 0);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix{parse_ipv4("1.2.3.4"), 32}, 7);
+  EXPECT_TRUE(trie.longest_match(parse_ipv4("1.2.3.4")).has_value());
+  EXPECT_FALSE(trie.longest_match(parse_ipv4("1.2.3.5")).has_value());
+}
+
+TEST(PrefixTrie, OperatorBracketDefaultConstructs) {
+  PrefixTrie<std::vector<int>> trie;
+  trie[Ipv4Prefix::parse("10.0.0.0/8")].push_back(3);
+  trie[Ipv4Prefix::parse("10.0.0.0/8")].push_back(4);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.find(Ipv4Prefix::parse("10.0.0.0/8"))->size(), 2u);
+}
+
+TEST(PrefixTrie, ForEachVisitsAll) {
+  PrefixTrie<int> trie;
+  const std::vector<Ipv4Prefix> prefixes{
+      Ipv4Prefix::parse("0.0.0.0/0"), Ipv4Prefix::parse("10.0.0.0/8"),
+      Ipv4Prefix::parse("192.168.1.0/24"), Ipv4Prefix::parse("10.0.0.0/16")};
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    trie.insert(prefixes[i], static_cast<int>(i));
+  }
+  std::size_t count = 0;
+  int sum = 0;
+  trie.for_each([&](const Ipv4Prefix& p, const int& v) {
+    ++count;
+    sum += v;
+    EXPECT_TRUE(std::find(prefixes.begin(), prefixes.end(), p) !=
+                prefixes.end());
+  });
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(sum, 0 + 1 + 2 + 3);
+}
+
+TEST(PrefixTrie, ClearEmptiesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.longest_match(parse_ipv4("10.0.0.1")).has_value());
+}
+
+}  // namespace
+}  // namespace abrr::bgp

@@ -1,0 +1,132 @@
+#include "core/address_partition.h"
+
+#include <gtest/gtest.h>
+
+namespace abrr::core {
+namespace {
+
+using bgp::parse_ipv4;
+
+TEST(PartitionScheme, UniformCoversWholeSpaceContiguously) {
+  for (const std::size_t n : {1u, 2u, 13u, 32u, 256u}) {
+    const auto scheme = PartitionScheme::uniform(n);
+    ASSERT_EQ(scheme.count(), n);
+    EXPECT_EQ(scheme.ranges().front().first, 0u);
+    EXPECT_EQ(scheme.ranges().back().last, 0xFFFFFFFFu);
+    for (std::size_t i = 1; i < n; ++i) {
+      EXPECT_EQ(scheme.ranges()[i].first, scheme.ranges()[i - 1].last + 1);
+    }
+  }
+  EXPECT_THROW(PartitionScheme::uniform(0), std::invalid_argument);
+}
+
+TEST(PartitionScheme, UniformRangesEqualSized) {
+  const auto scheme = PartitionScheme::uniform(16);
+  const std::uint64_t expect = (1ULL << 32) / 16;
+  for (const auto& r : scheme.ranges()) {
+    EXPECT_EQ(static_cast<std::uint64_t>(r.last) - r.first + 1, expect);
+  }
+}
+
+TEST(PartitionScheme, ApsOfSingleRange) {
+  const auto scheme = PartitionScheme::uniform(16);  // /4-sized chunks
+  // 10.0.0.0/8 sits inside the first /4 (0.0.0.0 - 15.255.255.255).
+  const auto aps = scheme.aps_of(Ipv4Prefix::parse("10.0.0.0/8"));
+  ASSERT_EQ(aps.size(), 1u);
+  EXPECT_EQ(aps.front(), 0);
+  // 240.0.0.0/8 is in the last chunk.
+  EXPECT_EQ(scheme.aps_of(Ipv4Prefix::parse("240.0.0.0/8")).front(), 15);
+}
+
+TEST(PartitionScheme, PrefixSpanningBoundaryBelongsToBoth) {
+  const auto scheme = PartitionScheme::uniform(16);
+  // 0.0.0.0/3 spans chunks 0 and 1 (each chunk is a /4).
+  const auto aps = scheme.aps_of(Ipv4Prefix::parse("0.0.0.0/3"));
+  ASSERT_EQ(aps.size(), 2u);
+  EXPECT_EQ(aps[0], 0);
+  EXPECT_EQ(aps[1], 1);
+  // 0.0.0.0/0 touches every AP.
+  EXPECT_EQ(scheme.aps_of(Ipv4Prefix{0, 0}).size(), 16u);
+}
+
+TEST(PartitionScheme, MapperMatchesApsOf) {
+  const auto scheme = PartitionScheme::uniform(8);
+  const auto mapper = scheme.mapper();
+  for (const auto& text : {"10.0.0.0/8", "128.0.0.0/3", "200.7.0.0/16"}) {
+    const auto p = Ipv4Prefix::parse(text);
+    EXPECT_EQ(mapper(p), scheme.aps_of(p)) << text;
+  }
+}
+
+std::vector<Ipv4Prefix> clustered_prefixes() {
+  // 3000 prefixes clustered in two /8s, mimicking the real skewed
+  // allocation the paper discusses (§4.1).
+  std::vector<Ipv4Prefix> out;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    out.emplace_back(parse_ipv4("10.0.0.0") + (i << 8), 24);
+  }
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    out.emplace_back(parse_ipv4("200.0.0.0") + (i << 8), 24);
+  }
+  return out;
+}
+
+TEST(PartitionScheme, BalancedEqualisesPrefixCounts) {
+  const auto prefixes = clustered_prefixes();
+  const auto scheme = PartitionScheme::balanced(6, prefixes);
+  ASSERT_EQ(scheme.count(), 6u);
+  for (ApId ap = 0; ap < 6; ++ap) {
+    const auto n = scheme.prefixes_in(ap, prefixes);
+    EXPECT_NEAR(static_cast<double>(n), 500.0, 5.0) << "AP " << ap;
+  }
+}
+
+TEST(PartitionScheme, UniformIsSkewedOnClusteredInput) {
+  // Contrast: with uniform ranges the same workload is wildly skewed,
+  // which is exactly the min/max variance of Figure 6.
+  const auto prefixes = clustered_prefixes();
+  const auto scheme = PartitionScheme::uniform(6);
+  std::size_t max_n = 0, min_n = prefixes.size();
+  for (ApId ap = 0; ap < 6; ++ap) {
+    const auto n = scheme.prefixes_in(ap, prefixes);
+    max_n = std::max(max_n, n);
+    min_n = std::min(min_n, n);
+  }
+  EXPECT_EQ(min_n, 0u);
+  EXPECT_GT(max_n, 1000u);
+}
+
+TEST(PartitionScheme, BalancedStillCoversWholeSpace) {
+  const auto prefixes = clustered_prefixes();
+  const auto scheme = PartitionScheme::balanced(4, prefixes);
+  EXPECT_EQ(scheme.ranges().front().first, 0u);
+  EXPECT_EQ(scheme.ranges().back().last, 0xFFFFFFFFu);
+  for (std::size_t i = 1; i < scheme.count(); ++i) {
+    EXPECT_EQ(scheme.ranges()[i].first, scheme.ranges()[i - 1].last + 1);
+  }
+}
+
+TEST(PartitionScheme, BalancedFallsBackToUniformOnTinyInput) {
+  const std::vector<Ipv4Prefix> two{Ipv4Prefix::parse("10.0.0.0/8"),
+                                    Ipv4Prefix::parse("20.0.0.0/8")};
+  const auto scheme = PartitionScheme::balanced(8, two);
+  EXPECT_EQ(scheme.count(), 8u);
+}
+
+TEST(PartitionScheme, EveryPrefixMapsSomewhere) {
+  // Property: for arbitrary prefixes, aps_of is never empty and all ids
+  // are in range.
+  const auto scheme = PartitionScheme::uniform(13);
+  for (std::uint32_t a = 0; a < 256; a += 7) {
+    const Ipv4Prefix p{a << 24, 8};
+    const auto aps = scheme.aps_of(p);
+    ASSERT_FALSE(aps.empty());
+    for (const ApId ap : aps) {
+      ASSERT_GE(ap, 0);
+      ASSERT_LT(static_cast<std::size_t>(ap), scheme.count());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abrr::core

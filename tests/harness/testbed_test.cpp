@@ -1,0 +1,168 @@
+// End-to-end integration on a Tier-1-like AS: the paper's headline
+// properties hold on a realistic (scaled) testbed, not just on gadgets.
+#include "harness/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/regenerator.h"
+#include "verify/efficiency.h"
+#include "verify/equivalence.h"
+#include "verify/forwarding.h"
+#include "verify/oscillation.h"
+
+namespace abrr::harness {
+namespace {
+
+class TestbedIntegration : public ::testing::Test {
+ protected:
+  TestbedIntegration() {
+    sim::Rng rng{31};
+    topo::TopologyParams tp;
+    tp.pops = 5;
+    tp.clients_per_pop = 4;
+    tp.peer_ases = 8;
+    tp.peering_points_per_as = 3;
+    topology = topo::make_tier1(tp, rng);
+    trace::WorkloadParams wp;
+    wp.prefixes = 300;
+    workload = trace::Workload::generate(wp, topology, rng);
+    prefixes = workload.prefixes();
+  }
+
+  TestbedOptions options(ibgp::IbgpMode mode, std::size_t aps = 4) const {
+    TestbedOptions o;
+    o.mode = mode;
+    o.num_aps = aps;
+    o.mrai = 0;
+    o.proc_delay = sim::msec(1);
+    o.latency_jitter = sim::msec(2);
+    return o;
+  }
+
+  std::unique_ptr<Testbed> build_and_load(const TestbedOptions& o) {
+    auto bed = std::make_unique<Testbed>(topology, o, prefixes);
+    trace::RouteRegenerator regen{bed->scheduler(), workload,
+                                  bed->inject_fn()};
+    regen.load_snapshot(0, sim::sec(5));
+    if (!bed->run_to_quiescence()) return nullptr;
+    return bed;
+  }
+
+  topo::Topology topology;
+  trace::Workload workload;
+  std::vector<bgp::Ipv4Prefix> prefixes;
+};
+
+TEST_F(TestbedIntegration, AllThreeArchitecturesConverge) {
+  for (const auto mode : {ibgp::IbgpMode::kFullMesh, ibgp::IbgpMode::kTbrr,
+                          ibgp::IbgpMode::kAbrr}) {
+    auto bed = build_and_load(options(mode));
+    ASSERT_NE(bed, nullptr) << static_cast<int>(mode);
+    // Every client has a route for every prefix.
+    for (const bgp::RouterId id : bed->client_ids()) {
+      for (const auto& p : prefixes) {
+        ASSERT_NE(bed->speaker(id).loc_rib().best(p), nullptr);
+      }
+    }
+  }
+}
+
+TEST_F(TestbedIntegration, AbrrIsExactlyEquivalentToFullMesh) {
+  auto abrr = build_and_load(options(ibgp::IbgpMode::kAbrr));
+  auto mesh = build_and_load(options(ibgp::IbgpMode::kFullMesh));
+  ASSERT_NE(abrr, nullptr);
+  ASSERT_NE(mesh, nullptr);
+  const auto eq = verify::compare_loc_ribs(*abrr, *mesh, prefixes);
+  EXPECT_EQ(eq.divergence_count, 0u)
+      << "first example: router "
+      << (eq.divergences.empty() ? 0 : eq.divergences.front().router);
+  EXPECT_EQ(eq.compared, prefixes.size() * abrr->client_ids().size());
+}
+
+TEST_F(TestbedIntegration, AbrrForwardingIsCleanAndEfficient) {
+  auto abrr = build_and_load(options(ibgp::IbgpMode::kAbrr));
+  ASSERT_NE(abrr, nullptr);
+  verify::ForwardingChecker checker{*abrr};
+  const auto audit = checker.audit(prefixes);
+  EXPECT_EQ(audit.loops, 0u);
+  EXPECT_EQ(audit.delivered, audit.checked);
+  const auto eff = verify::audit_efficiency(*abrr, workload);
+  EXPECT_EQ(eff.inefficient, 0u);
+  EXPECT_EQ(eff.off_as_level_set, 0u);
+}
+
+TEST_F(TestbedIntegration, WellEngineeredTbrrConvergesButMayLoseEfficiency) {
+  // On a PoP-aligned topology (intra < inter metrics) TBRR converges --
+  // the engineering ISPs rely on. Efficiency can still be lost relative
+  // to the hot-potato optimum.
+  auto tbrr = build_and_load(options(ibgp::IbgpMode::kTbrr));
+  ASSERT_NE(tbrr, nullptr);
+  const auto eff_tbrr = verify::audit_efficiency(*tbrr, workload);
+  auto abrr = build_and_load(options(ibgp::IbgpMode::kAbrr));
+  const auto eff_abrr = verify::audit_efficiency(*abrr, workload);
+  EXPECT_GE(eff_tbrr.total_extra_metric, eff_abrr.total_extra_metric);
+  EXPECT_EQ(eff_abrr.total_extra_metric, 0.0);
+}
+
+TEST_F(TestbedIntegration, ArrRibsAreSmallerThanTrrRibs) {
+  // Figure 6's headline at testbed scale.
+  auto tbrr = build_and_load(options(ibgp::IbgpMode::kTbrr));
+  auto abrr = build_and_load(options(ibgp::IbgpMode::kAbrr, 8));
+  ASSERT_NE(tbrr, nullptr);
+  ASSERT_NE(abrr, nullptr);
+  EXPECT_LT(abrr->rr_rib_in().avg, tbrr->rr_rib_in().avg);
+  EXPECT_LT(abrr->rr_rib_out().avg, tbrr->rr_rib_out().avg);
+}
+
+TEST_F(TestbedIntegration, ArrSessionCountsMatchTheDesign) {
+  auto abrr = build_and_load(options(ibgp::IbgpMode::kAbrr, 4));
+  ASSERT_NE(abrr, nullptr);
+  // Every ARR peers with every client and with ARRs of other APs (§3.3).
+  const std::size_t n_clients = abrr->client_ids().size();
+  const std::size_t n_arrs = 4 * 2;
+  for (const bgp::RouterId rr : abrr->rr_ids()) {
+    EXPECT_EQ(abrr->speaker(rr).peer_count(), n_clients + n_arrs - 2);
+  }
+  // Clients peer with all ARRs only.
+  for (const bgp::RouterId c : abrr->client_ids()) {
+    EXPECT_EQ(abrr->speaker(c).peer_count(), n_arrs);
+  }
+}
+
+TEST_F(TestbedIntegration, NoOscillationOnTheRealisticTestbed) {
+  auto bed = std::make_unique<Testbed>(
+      topology, options(ibgp::IbgpMode::kAbrr), prefixes);
+  verify::OscillationMonitor monitor{30};
+  for (const bgp::RouterId id : bed->all_ids()) {
+    monitor.attach(bed->speaker(id));
+  }
+  trace::RouteRegenerator regen{bed->scheduler(), workload, bed->inject_fn()};
+  regen.load_snapshot(0, sim::sec(5));
+  ASSERT_TRUE(bed->run_to_quiescence());
+  EXPECT_FALSE(monitor.oscillating());
+}
+
+TEST_F(TestbedIntegration, CounterResetIsolatesPhases) {
+  auto bed = build_and_load(options(ibgp::IbgpMode::kAbrr));
+  ASSERT_NE(bed, nullptr);
+  const auto during_load = bed->rr_counters();
+  EXPECT_GT(during_load.received, 0u);
+  bed->reset_counters();
+  const auto after_reset = bed->rr_counters();
+  EXPECT_EQ(after_reset.received, 0u);
+  EXPECT_EQ(after_reset.generated, 0u);
+}
+
+TEST_F(TestbedIntegration, DeterministicAcrossRuns) {
+  auto a = build_and_load(options(ibgp::IbgpMode::kAbrr));
+  auto b = build_and_load(options(ibgp::IbgpMode::kAbrr));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  const auto eq = verify::compare_loc_ribs(*a, *b, prefixes);
+  EXPECT_EQ(eq.divergence_count, 0u);
+  EXPECT_EQ(a->rr_counters().received, b->rr_counters().received);
+  EXPECT_EQ(a->rr_counters().transmitted, b->rr_counters().transmitted);
+}
+
+}  // namespace
+}  // namespace abrr::harness

@@ -1,0 +1,134 @@
+// Session lifecycle: bulk withdraw on session loss, full table resync on
+// (re-)establishment.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/address_partition.h"
+#include "ibgp/speaker.h"
+
+namespace abrr::ibgp {
+namespace {
+
+using bgp::Ipv4Prefix;
+using bgp::Route;
+using bgp::RouteBuilder;
+
+const Ipv4Prefix kPfx = Ipv4Prefix::parse("10.0.0.0/8");
+const Ipv4Prefix kPfx2 = Ipv4Prefix::parse("20.0.0.0/8");
+constexpr RouterId kNbr = 0x80000001;
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : scheme(core::PartitionScheme::uniform(1)) {
+    // Clients 1, 2; redundant ARRs 10, 11 for the single AP.
+    for (const RouterId id : {1u, 2u}) add(id, {});
+    for (const RouterId id : {10u, 11u}) add(id, {0});
+    for (const RouterId c : {1u, 2u}) {
+      for (const RouterId a : {10u, 11u}) {
+        net.connect(c, a, sim::msec(2));
+        at(a).add_peer(PeerInfo{.id = c, .rr_client = true});
+        at(c).add_peer(PeerInfo{.id = a, .reflector_for = {0}});
+      }
+    }
+    for (auto& [id, s] : speakers) s->start();
+  }
+
+  void add(RouterId id, std::vector<ApId> managed) {
+    SpeakerConfig cfg;
+    cfg.id = id;
+    cfg.asn = 65000;
+    cfg.mode = IbgpMode::kAbrr;
+    cfg.ap_of = scheme.mapper();
+    cfg.managed_aps = managed;
+    cfg.data_plane = managed.empty();
+    cfg.mrai = 0;
+    cfg.proc_delay = sim::msec(1);
+    speakers.emplace(id, std::make_unique<Speaker>(cfg, sched, net));
+  }
+  Speaker& at(RouterId id) { return *speakers.at(id); }
+
+  Route route(std::vector<bgp::Asn> path) {
+    return RouteBuilder{kPfx}.as_path(bgp::AsPath{std::move(path)}).build();
+  }
+
+  core::PartitionScheme scheme;
+  sim::Scheduler sched;
+  sim::Rng rng{1};
+  net::Network net{sched, rng};
+  std::map<RouterId, std::unique_ptr<Speaker>> speakers;
+};
+
+TEST_F(SessionTest, EbgpSessionDownWithdrawsEverythingLearned) {
+  at(1).inject_ebgp(kNbr, route({7018, 15169}));
+  at(1).inject_ebgp(kNbr, RouteBuilder{kPfx2}.as_path({7018}).build());
+  sched.run_to_quiescence(100000);
+  ASSERT_NE(at(2).loc_rib().best(kPfx), nullptr);
+  ASSERT_NE(at(2).loc_rib().best(kPfx2), nullptr);
+
+  at(1).session_down(kNbr);  // the eBGP neighbor went away
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  EXPECT_EQ(at(1).loc_rib().best(kPfx), nullptr);
+  EXPECT_EQ(at(2).loc_rib().best(kPfx), nullptr);
+  EXPECT_EQ(at(2).loc_rib().best(kPfx2), nullptr);
+  EXPECT_EQ(at(10).rib_in_size(), 0u);
+}
+
+TEST_F(SessionTest, ArrSessionDownLosesOnlyThatCopy) {
+  at(1).inject_ebgp(kNbr, route({7018, 15169}));
+  sched.run_to_quiescence(100000);
+  ASSERT_EQ(at(2).adj_rib_in().peer_size(10), 1u);
+  ASSERT_EQ(at(2).adj_rib_in().peer_size(11), 1u);
+
+  // Client 2 loses its session to ARR 10; redundancy keeps the route.
+  at(2).session_down(10);
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  EXPECT_EQ(at(2).adj_rib_in().peer_size(10), 0u);
+  ASSERT_NE(at(2).loc_rib().best(kPfx), nullptr);
+  EXPECT_EQ(at(2).loc_rib().best(kPfx)->egress(), 1u);
+}
+
+TEST_F(SessionTest, SessionUpResyncsFullTable) {
+  at(1).inject_ebgp(kNbr, route({7018, 15169}));
+  sched.run_to_quiescence(100000);
+
+  // Drop both directions of the 2<->10 session state.
+  at(2).session_down(10);
+  at(10).session_down(2);
+  sched.run_to_quiescence(100000);
+  ASSERT_EQ(at(2).adj_rib_in().peer_size(10), 0u);
+
+  // Session re-established: the ARR replays its Adj-RIB-Out.
+  at(10).session_up(2);
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  EXPECT_EQ(at(2).adj_rib_in().peer_size(10), 1u);
+}
+
+TEST_F(SessionTest, ClientSessionDownAtArrRemovesItsContributions) {
+  at(1).inject_ebgp(kNbr, route({7018, 15169}));
+  at(2).inject_ebgp(kNbr + 1, route({1299, 15169}));
+  sched.run_to_quiescence(100000);
+  ASSERT_EQ(at(10).out_group(Speaker::arr_group(0))->get(kPfx)->size(), 2u);
+
+  // ARR 10 loses client 1: its route leaves the reflected set.
+  at(10).session_down(1);
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  const auto* set = at(10).out_group(Speaker::arr_group(0))->get(kPfx);
+  ASSERT_NE(set, nullptr);
+  ASSERT_EQ(set->size(), 1u);
+  EXPECT_EQ(set->front().egress(), 2u);
+  // ARR 11 still has both (its sessions are intact).
+  EXPECT_EQ(at(11).out_group(Speaker::arr_group(0))->get(kPfx)->size(), 2u);
+  // So clients still reach egress 1 through ARR 11's set.
+  ASSERT_NE(at(2).loc_rib().best(kPfx), nullptr);
+}
+
+TEST_F(SessionTest, SessionDownOnUnknownPeerIsHarmless) {
+  at(1).session_down(999);
+  at(1).session_up(999);
+  EXPECT_TRUE(sched.run_to_quiescence(100000));
+}
+
+}  // namespace
+}  // namespace abrr::ibgp

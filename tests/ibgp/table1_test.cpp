@@ -1,0 +1,204 @@
+// Table 1 of the paper, row by row: who advertises what to whom.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/address_partition.h"
+#include "ibgp/speaker.h"
+
+namespace abrr::ibgp {
+namespace {
+
+using bgp::Ipv4Prefix;
+using bgp::Route;
+using bgp::RouteBuilder;
+
+const Ipv4Prefix kPfx = Ipv4Prefix::parse("10.0.0.0/8");
+constexpr RouterId kNbr = 0x80000001;
+
+// TBRR: data-plane TRR 11 (cluster 1) with client 1; TRR 21 (cluster 2)
+// with client 2.
+class Table1Tbrr : public ::testing::Test {
+ protected:
+  Speaker& add(RouterId id, std::uint32_t cluster, bool data_plane = true) {
+    SpeakerConfig cfg;
+    cfg.id = id;
+    cfg.asn = 65000;
+    cfg.mode = IbgpMode::kTbrr;
+    cfg.cluster_id = cluster;
+    cfg.data_plane = data_plane;
+    cfg.mrai = 0;
+    cfg.proc_delay = sim::msec(1);
+    auto s = std::make_unique<Speaker>(cfg, sched, net);
+    auto& ref = *s;
+    speakers.emplace(id, std::move(s));
+    return ref;
+  }
+  Speaker& at(RouterId id) { return *speakers.at(id); }
+
+  void Build() {
+    add(1, 0);
+    add(2, 0);
+    add(11, 1);  // data-plane TRR: can originate and hold eBGP sessions
+    add(21, 2);
+    net.connect(1, 11, sim::msec(1));
+    at(1).add_peer(PeerInfo{.id = 11, .reflector_tbrr = true});
+    at(11).add_peer(PeerInfo{.id = 1, .rr_client = true});
+    net.connect(2, 21, sim::msec(1));
+    at(2).add_peer(PeerInfo{.id = 21, .reflector_tbrr = true});
+    at(21).add_peer(PeerInfo{.id = 2, .rr_client = true});
+    net.connect(11, 21, sim::msec(1));
+    at(11).add_peer(PeerInfo{.id = 21, .rr_peer = true});
+    at(21).add_peer(PeerInfo{.id = 11, .rr_peer = true});
+    for (auto& [id, s] : speakers) s->start();
+  }
+
+  sim::Scheduler sched;
+  sim::Rng rng{1};
+  net::Network net{sched, rng};
+  std::map<RouterId, std::unique_ptr<Speaker>> speakers;
+};
+
+TEST_F(Table1Tbrr, TrrAdvertisesItsOwnEbgpRoutesEverywhere) {
+  // Rows "TRR -> Client (3)" and "TRR -> TRR (2)": best routes received
+  // from eBGP neighbors.
+  Build();
+  at(11).inject_ebgp(kNbr, RouteBuilder{kPfx}.as_path({7018}).build());
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  // Own client got it, the other TRR got it, the remote client got it.
+  EXPECT_NE(at(1).loc_rib().best(kPfx), nullptr);
+  EXPECT_EQ(at(21).adj_rib_in().peer_size(11), 1u);
+  ASSERT_NE(at(2).loc_rib().best(kPfx), nullptr);
+  EXPECT_EQ(at(2).loc_rib().best(kPfx)->egress(), 11u);
+}
+
+TEST_F(Table1Tbrr, TrrAdvertisesLocallyOriginatedEverywhere) {
+  // Rows "TRR -> Client (4)" and "TRR -> TRR (3)".
+  Build();
+  at(11).originate(RouteBuilder{kPfx}.origin(bgp::Origin::kIgp).build());
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  EXPECT_NE(at(1).loc_rib().best(kPfx), nullptr);
+  EXPECT_NE(at(2).loc_rib().best(kPfx), nullptr);
+  EXPECT_EQ(at(2).loc_rib().best(kPfx)->via, bgp::LearnedVia::kIbgp);
+}
+
+TEST_F(Table1Tbrr, TrrExportsAllBestRoutesToEbgpNotReturningToSender) {
+  // Row "TRR -> eBGP Neighbor: all best routes (not returned to sender)".
+  Build();
+  std::vector<std::pair<RouterId, bool>> sends;  // (neighbor, announce?)
+  at(11).set_ebgp_send_hook(
+      [&](RouterId n, const Ipv4Prefix&, const std::optional<Route>& r) {
+        sends.emplace_back(n, r.has_value());
+      });
+  at(11).add_ebgp_neighbor(kNbr, 7018);
+  at(11).add_ebgp_neighbor(kNbr + 1, 1299);
+  at(11).inject_ebgp(kNbr, RouteBuilder{kPfx}.as_path({7018}).build());
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends.front().first, kNbr + 1);  // never back to the sender
+  EXPECT_TRUE(sends.front().second);
+}
+
+TEST_F(Table1Tbrr, ClientAdvertisesOnlyOtherLearnedBests) {
+  // Rows "Client -> TRR": eBGP-learned or locally originated only.
+  Build();
+  at(2).inject_ebgp(kNbr, RouteBuilder{kPfx}.as_path({7018}).build());
+  sched.run_to_quiescence(100000);
+  // Client 1's best is iBGP-learned: nothing goes up from it.
+  ASSERT_NE(at(1).loc_rib().best(kPfx), nullptr);
+  EXPECT_EQ(at(1).rib_out_size(), 0u);
+  EXPECT_EQ(at(11).adj_rib_in().peer_size(1), 0u);
+}
+
+// ABRR: clients 1, 2; ARRs 10 (AP 0), 20 (AP 1), both pure control
+// plane, cross-peered as each other's clients.
+class Table1Abrr : public ::testing::Test {
+ protected:
+  Table1Abrr() : scheme(core::PartitionScheme::uniform(2)) {}
+
+  Speaker& add(RouterId id, std::vector<ApId> managed) {
+    SpeakerConfig cfg;
+    cfg.id = id;
+    cfg.asn = 65000;
+    cfg.mode = IbgpMode::kAbrr;
+    cfg.ap_of = scheme.mapper();
+    cfg.managed_aps = managed;
+    cfg.data_plane = managed.empty();
+    cfg.mrai = 0;
+    cfg.proc_delay = sim::msec(1);
+    auto s = std::make_unique<Speaker>(cfg, sched, net);
+    auto& ref = *s;
+    speakers.emplace(id, std::move(s));
+    return ref;
+  }
+  Speaker& at(RouterId id) { return *speakers.at(id); }
+
+  void Build() {
+    add(1, {});
+    add(2, {});
+    add(10, {0});
+    add(20, {1});
+    for (RouterId c : {1u, 2u}) {
+      net.connect(c, 10, sim::msec(1));
+      at(10).add_peer(PeerInfo{.id = c, .rr_client = true});
+      at(c).add_peer(PeerInfo{.id = 10, .reflector_for = {0}});
+      net.connect(c, 20, sim::msec(1));
+      at(20).add_peer(PeerInfo{.id = c, .rr_client = true});
+      at(c).add_peer(PeerInfo{.id = 20, .reflector_for = {1}});
+    }
+    net.connect(10, 20, sim::msec(1));
+    at(10).add_peer(
+        PeerInfo{.id = 20, .rr_client = true, .reflector_for = {1}});
+    at(20).add_peer(
+        PeerInfo{.id = 10, .rr_client = true, .reflector_for = {0}});
+    for (auto& [id, s] : speakers) s->start();
+  }
+
+  core::PartitionScheme scheme;
+  sim::Scheduler sched;
+  sim::Rng rng{1};
+  net::Network net{sched, rng};
+  std::map<RouterId, std::unique_ptr<Speaker>> speakers;
+};
+
+TEST_F(Table1Abrr, ClientOriginatesIntoTheRightApOnly) {
+  // Row "Client -> ARR (2): best routes locally originated, AP only".
+  Build();
+  at(1).originate(RouteBuilder{kPfx}.origin(bgp::Origin::kIgp).build());
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  EXPECT_EQ(at(10).adj_rib_in().peer_size(1), 1u);  // AP 0 covers 10/8
+  EXPECT_EQ(at(20).adj_rib_in().peer_size(1), 0u);
+  ASSERT_NE(at(2).loc_rib().best(kPfx), nullptr);
+}
+
+TEST_F(Table1Abrr, ArrNeverForwardsReflectionsToFellowArrsArrRole) {
+  // Row "ARR -> ARR: not applicable": ARR 20 receives AP-0 reflections
+  // as a CLIENT of ARR 10 and must not re-reflect them anywhere.
+  Build();
+  at(1).inject_ebgp(kNbr, RouteBuilder{kPfx}.as_path({7018}).build());
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  // ARR 20 stored the route in its client role (unmanaged)...
+  EXPECT_EQ(at(20).adj_rib_in().peer_size(10), 1u);
+  // ...but its own reflection groups stayed empty (10/8 is not AP 1).
+  EXPECT_EQ(at(20).rib_out_size(), 0u);
+}
+
+TEST_F(Table1Abrr, ClientExportsAllBestsToEbgpNeighbors) {
+  // Row "Client -> eBGP Neighbor: all best routes (not returned to
+  // sender)": including iBGP-learned bests.
+  Build();
+  std::vector<RouterId> announced_to;
+  at(2).set_ebgp_send_hook(
+      [&](RouterId n, const Ipv4Prefix&, const std::optional<Route>& r) {
+        if (r) announced_to.push_back(n);
+      });
+  at(2).add_ebgp_neighbor(0x90000001, 6453);
+  at(1).inject_ebgp(kNbr, RouteBuilder{kPfx}.as_path({7018}).build());
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  ASSERT_EQ(announced_to.size(), 1u);
+  EXPECT_EQ(announced_to.front(), 0x90000001u);
+}
+
+}  // namespace
+}  // namespace abrr::ibgp

@@ -1,0 +1,116 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace abrr::sim {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a{42}, b{42}, c{43};
+  bool all_equal = true;
+  bool any_diff_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a(), vb = b(), vc = c();
+    all_equal = all_equal && va == vb;
+    any_diff_c = any_diff_c || va != vc;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(Rng, UniformIntRespectsBoundsAndCoversRange) {
+  Rng rng{1};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng{1};
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_THROW(rng.uniform_int(6, 5), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InRangeAndRoughlyUniform) {
+  Rng rng{7};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdges) {
+  Rng rng{3};
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng{11};
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / 20000, 4.0, 0.15);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng{13};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+  // s = 0 degenerates to uniform.
+  std::vector<int> flat(10, 0);
+  for (int i = 0; i < 20000; ++i) ++flat[rng.zipf(10, 0.0)];
+  EXPECT_NEAR(flat[0], 2000, 300);
+  EXPECT_NEAR(flat[9], 2000, 300);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng{17};
+  const auto picked = rng.sample_indices(100, 30);
+  EXPECT_EQ(picked.size(), 30u);
+  std::set<std::size_t> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto i : picked) EXPECT_LT(i, 100u);
+  EXPECT_THROW(rng.sample_indices(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng{19};
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  rng.shuffle(std::span<int>{w});
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitDecorrelates) {
+  Rng a{23};
+  Rng b = a.split();
+  bool differ = false;
+  for (int i = 0; i < 10 && !differ; ++i) differ = a() != b();
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace abrr::sim

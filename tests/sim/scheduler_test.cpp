@@ -1,0 +1,126 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace abrr::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_FALSE(s.has_pending());
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_TRUE(s.run_to_quiescence());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  s.run_to_quiescence();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+  Scheduler s;
+  Time fired = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_after(50, [&] { fired = s.now(); });
+  });
+  s.run_to_quiescence();
+  EXPECT_EQ(fired, 150);
+}
+
+TEST(Scheduler, PastDeadlinesClampToNow) {
+  Scheduler s;
+  Time fired = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_at(10, [&] { fired = s.now(); });  // in the past
+  });
+  s.run_to_quiescence();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_at(10, [&] { ran = true; });
+  s.cancel(id);
+  EXPECT_TRUE(s.run_to_quiescence());
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelUnknownIdIsNoop) {
+  Scheduler s;
+  s.cancel(12345);
+  EXPECT_TRUE(s.run_to_quiescence());
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  std::vector<Time> fired;
+  for (Time t : {10, 20, 30, 40}) {
+    s.schedule_at(t, [&fired, &s] { fired.push_back(s.now()); });
+  }
+  EXPECT_EQ(s.run_until(25), 2u);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(s.now(), 25);
+  EXPECT_TRUE(s.has_pending());
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWhenIdle) {
+  Scheduler s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Scheduler, CallbackCanCancelLaterEvent) {
+  Scheduler s;
+  bool ran = false;
+  EventId later = 0;
+  later = s.schedule_at(20, [&] { ran = true; });
+  s.schedule_at(10, [&] { s.cancel(later); });
+  s.run_to_quiescence();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, MaxEventsBoundsExecution) {
+  Scheduler s;
+  // A self-perpetuating event chain never drains...
+  std::function<void()> tick = [&] { s.schedule_after(1, tick); };
+  s.schedule_after(1, tick);
+  // ...so run_to_quiescence must give up after max_events.
+  EXPECT_FALSE(s.run_to_quiescence(1000));
+  EXPECT_EQ(s.events_executed(), 1000u);
+}
+
+TEST(Scheduler, RejectsEmptyCallback) {
+  Scheduler s;
+  EXPECT_THROW(s.schedule_at(1, {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_after(-1, [] {}), std::invalid_argument);
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(msec(1), 1000);
+  EXPECT_EQ(sec(1), 1'000'000);
+  EXPECT_EQ(sec_f(0.5), 500'000);
+  EXPECT_DOUBLE_EQ(to_seconds(sec(2)), 2.0);
+  EXPECT_EQ(kDay, 24 * kHour);
+}
+
+}  // namespace
+}  // namespace abrr::sim

@@ -1,0 +1,169 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "igp/spf.h"
+
+namespace abrr::topo {
+namespace {
+
+TopologyParams small_params() {
+  TopologyParams p;
+  p.pops = 5;
+  p.clients_per_pop = 4;
+  p.peer_ases = 6;
+  p.peering_points_per_as = 3;
+  return p;
+}
+
+TEST(Topology, BuildsRequestedCounts) {
+  sim::Rng rng{1};
+  const auto t = make_tier1(small_params(), rng);
+  EXPECT_EQ(t.clients.size(), 20u);
+  EXPECT_EQ(t.reflectors.size(), 10u);  // 2 per cluster
+  EXPECT_EQ(t.peer_as_list.size(), 6u);
+  EXPECT_EQ(t.peering_points.size(), 6u * 3u);
+}
+
+TEST(Topology, IdsAreUniqueAndDisjointFromSpecialRanges) {
+  sim::Rng rng{2};
+  const auto t = make_tier1(small_params(), rng);
+  std::set<RouterId> ids;
+  for (const auto& r : t.clients) ids.insert(r.id);
+  for (const auto& r : t.reflectors) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), t.clients.size() + t.reflectors.size());
+  for (const RouterId id : ids) {
+    EXPECT_LT(id, kHubBase);
+    EXPECT_LT(id, kEbgpNeighborBase);
+  }
+  std::set<RouterId> neighbors;
+  for (const auto& p : t.peering_points) neighbors.insert(p.neighbor_id);
+  EXPECT_EQ(neighbors.size(), t.peering_points.size());
+  for (const RouterId n : neighbors) EXPECT_GE(n, kEbgpNeighborBase);
+}
+
+TEST(Topology, GraphIsConnected) {
+  sim::Rng rng{3};
+  const auto t = make_tier1(small_params(), rng);
+  const auto tree = igp::compute_spf(t.graph, t.clients.front().id);
+  for (const auto& r : t.clients) {
+    EXPECT_NE(tree.distance_to(r.id), bgp::kIgpInfinity) << r.id;
+  }
+  for (const auto& r : t.reflectors) {
+    EXPECT_NE(tree.distance_to(r.id), bgp::kIgpInfinity) << r.id;
+  }
+}
+
+TEST(Topology, IntraPopShorterThanInterPop) {
+  sim::Rng rng{4};
+  const auto t = make_tier1(small_params(), rng);
+  igp::SpfCache spf{t.graph};
+  // Two clients in the same PoP are closer than two in different PoPs
+  // (the §1 metric engineering).
+  const auto* a = &t.clients[0];
+  const RouterSpec* same = nullptr;
+  const RouterSpec* other = nullptr;
+  for (const auto& r : t.clients) {
+    if (r.id == a->id) continue;
+    if (r.pop == a->pop && same == nullptr) same = &r;
+    if (r.pop != a->pop && other == nullptr) other = &r;
+  }
+  ASSERT_NE(same, nullptr);
+  ASSERT_NE(other, nullptr);
+  EXPECT_LT(spf.distance(a->id, same->id), spf.distance(a->id, other->id));
+}
+
+TEST(Topology, PeeringPointsLandOnPeeringRoutersInDistinctPops) {
+  sim::Rng rng{5};
+  const auto t = make_tier1(small_params(), rng);
+  std::map<Asn, std::set<std::uint32_t>> pops_per_as;
+  for (const auto& p : t.peering_points) {
+    const auto it = std::find_if(
+        t.clients.begin(), t.clients.end(),
+        [&](const RouterSpec& r) { return r.id == p.router; });
+    ASSERT_NE(it, t.clients.end());
+    EXPECT_EQ(it->role, RouterRole::kPeering);
+    pops_per_as[p.peer_as].insert(it->pop);
+  }
+  for (const auto& [as, pops] : pops_per_as) {
+    EXPECT_EQ(pops.size(), 3u) << "AS " << as;  // geographic diversity
+  }
+}
+
+TEST(Topology, SkewConcentratesPeeringInGatewayPops) {
+  sim::Rng rng{6};
+  TopologyParams p = small_params();
+  p.pops = 10;
+  p.peer_ases = 20;
+  p.peering_points_per_as = 2;
+  p.peering_skew = 1.5;
+  const auto t = make_tier1(p, rng);
+  std::map<std::uint32_t, std::size_t> per_pop;
+  for (const auto& point : t.peering_points) {
+    const auto it = std::find_if(
+        t.clients.begin(), t.clients.end(),
+        [&](const RouterSpec& r) { return r.id == point.router; });
+    ++per_pop[it->pop];
+  }
+  std::size_t max_pop = 0, min_pop = t.peering_points.size();
+  for (std::uint32_t pop = 0; pop < p.pops; ++pop) {
+    max_pop = std::max(max_pop, per_pop[pop]);
+    min_pop = std::min(min_pop, per_pop[pop]);
+  }
+  EXPECT_GT(max_pop, 2 * std::max<std::size_t>(min_pop, 1));
+}
+
+TEST(Topology, HelpersFilterCorrectly) {
+  sim::Rng rng{7};
+  const auto t = make_tier1(small_params(), rng);
+  const auto cluster0 = t.cluster_clients(0);
+  EXPECT_EQ(cluster0.size(), 4u);
+  for (const auto* r : cluster0) EXPECT_EQ(r->cluster, 0u);
+  EXPECT_EQ(t.cluster_reflectors(0).size(), 2u);
+  const auto points = t.points_of(t.peer_as_list.front());
+  EXPECT_EQ(points.size(), 3u);
+  const auto peering = t.peering_routers();
+  for (const RouterId id : peering) {
+    const auto it = std::find_if(
+        t.clients.begin(), t.clients.end(),
+        [&](const RouterSpec& r) { return r.id == id; });
+    EXPECT_EQ(it->role, RouterRole::kPeering);
+  }
+}
+
+TEST(Topology, DeterministicPerSeed) {
+  sim::Rng rng_a{11}, rng_b{11}, rng_c{12};
+  const auto a = make_tier1(small_params(), rng_a);
+  const auto b = make_tier1(small_params(), rng_b);
+  const auto c = make_tier1(small_params(), rng_c);
+  ASSERT_EQ(a.peering_points.size(), b.peering_points.size());
+  bool same = true;
+  for (std::size_t i = 0; i < a.peering_points.size(); ++i) {
+    same = same && a.peering_points[i].router == b.peering_points[i].router;
+  }
+  EXPECT_TRUE(same);
+  bool all_equal_c = a.peering_points.size() == c.peering_points.size();
+  if (all_equal_c) {
+    all_equal_c = false;
+    for (std::size_t i = 0; i < a.peering_points.size(); ++i) {
+      if (a.peering_points[i].router != c.peering_points[i].router) {
+        all_equal_c = false;
+        break;
+      }
+      all_equal_c = true;
+    }
+  }
+  EXPECT_FALSE(all_equal_c);
+}
+
+TEST(Topology, RejectsDegenerateParams) {
+  sim::Rng rng{1};
+  TopologyParams p;
+  p.pops = 0;
+  EXPECT_THROW(make_tier1(p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abrr::topo

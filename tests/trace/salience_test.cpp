@@ -1,0 +1,83 @@
+// Salient-announcement extraction: the event generator targets routes
+// that actually surface as iBGP activity.
+#include <gtest/gtest.h>
+
+#include "trace/workload.h"
+
+namespace abrr::trace {
+namespace {
+
+PrefixEntry make_entry() {
+  PrefixEntry entry;
+  entry.prefix = bgp::Ipv4Prefix::parse("10.0.0.0/8");
+  entry.from_peers = true;
+  // AS 7001 at two points: lengths 3 and 4 (only the short one counts).
+  // AS 7002 at one point: length 3 (ties at AS level).
+  // AS 7003 at one point: length 5 (AS-level loser).
+  Announcement a;
+  a.local_pref = 80;
+  a.origin_as = 30000;
+  a.first_as = 7001;
+  a.router = 1;
+  a.neighbor = 0x80000001;
+  a.path_length = 3;
+  entry.anns.push_back(a);
+  a.router = 2;
+  a.neighbor = 0x80000002;
+  a.path_length = 4;
+  entry.anns.push_back(a);
+  a.first_as = 7002;
+  a.router = 3;
+  a.neighbor = 0x80000003;
+  a.path_length = 3;
+  entry.anns.push_back(a);
+  a.first_as = 7003;
+  a.router = 4;
+  a.neighbor = 0x80000004;
+  a.path_length = 5;
+  entry.anns.push_back(a);
+  return entry;
+}
+
+TEST(Salience, PicksAsLevelBestBackers) {
+  const Workload w = Workload::from_parts({}, {make_entry()});
+  const auto salient = w.salient_indices(w.table().front());
+  // Expect exactly the two length-3 announcements (indices 0 and 2).
+  ASSERT_EQ(salient.size(), 2u);
+  EXPECT_EQ(salient[0], 0u);
+  EXPECT_EQ(salient[1], 2u);
+}
+
+TEST(Salience, SameRouterMultipleSessionsKeepsTheBest) {
+  PrefixEntry entry = make_entry();
+  // Give router 1 a second, longer session route from another AS; the
+  // router advertises only its best, so only index 0 stays salient for
+  // router 1.
+  Announcement extra = entry.anns.front();
+  extra.first_as = 7004;
+  extra.neighbor = 0x80000009;
+  extra.path_length = 6;
+  entry.anns.push_back(extra);
+  const Workload w = Workload::from_parts({}, {entry});
+  const auto salient = w.salient_indices(w.table().front());
+  for (const auto idx : salient) {
+    EXPECT_NE(w.table().front().anns[idx].path_length, 6);
+  }
+}
+
+TEST(Salience, FallsBackWhenSetUnmappable) {
+  // Single announcement: trivially salient.
+  PrefixEntry entry;
+  entry.prefix = bgp::Ipv4Prefix::parse("10.0.0.0/8");
+  Announcement a;
+  a.first_as = 7001;
+  a.router = 1;
+  a.neighbor = 0x80000001;
+  a.path_length = 2;
+  entry.anns.push_back(a);
+  const Workload w = Workload::from_parts({}, {entry});
+  EXPECT_EQ(w.salient_indices(w.table().front()).size(), 1u);
+}
+
+}  // namespace
+}  // namespace abrr::trace

@@ -1,0 +1,150 @@
+#include "trace/update_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace abrr::trace {
+namespace {
+
+class UpdateTraceTest : public ::testing::Test {
+ protected:
+  UpdateTraceTest() {
+    topo::TopologyParams tp;
+    tp.pops = 4;
+    tp.clients_per_pop = 4;
+    tp.peer_ases = 5;
+    tp.peering_points_per_as = 2;
+    topo = topo::make_tier1(tp, rng);
+    WorkloadParams wp;
+    wp.prefixes = 500;
+    workload = Workload::generate(wp, topo, rng);
+  }
+  sim::Rng rng{21};
+  topo::Topology topo;
+  Workload workload;
+};
+
+TEST_F(UpdateTraceTest, EventsAreSortedWithinDuration) {
+  TraceParams p;
+  p.duration = sim::sec(100);
+  p.events_per_second = 10;
+  const auto trace = UpdateTrace::generate(p, workload, rng);
+  ASSERT_FALSE(trace.events().empty());
+  sim::Time prev = 0;
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.at, prev);
+    EXPECT_LT(e.at, p.duration);
+    prev = e.at;
+  }
+}
+
+TEST_F(UpdateTraceTest, RateRoughlyHonored) {
+  TraceParams p;
+  p.duration = sim::sec(200);
+  p.events_per_second = 20;
+  p.flap_fraction = 0;  // one event per arrival
+  p.session_resets_per_hour = 0;
+  const auto trace = UpdateTrace::generate(p, workload, rng);
+  EXPECT_NEAR(static_cast<double>(trace.events().size()), 4000.0, 400.0);
+}
+
+TEST_F(UpdateTraceTest, FlapsComeInWithdrawReannouncePairs) {
+  TraceParams p;
+  p.duration = sim::sec(100);
+  p.events_per_second = 10;
+  p.flap_fraction = 1.0;
+  p.flap_hold = sim::sec(5);
+  const auto trace = UpdateTrace::generate(p, workload, rng);
+  std::size_t withdraws = 0, reannounces = 0;
+  for (const auto& e : trace.events()) {
+    if (e.kind == EventKind::kWithdraw) ++withdraws;
+    if (e.kind == EventKind::kReannounce) ++reannounces;
+  }
+  EXPECT_GT(withdraws, 0u);
+  // Every withdraw has its re-announce unless cut off by trace end.
+  EXPECT_GE(reannounces, withdraws * 9 / 10);
+  EXPECT_LE(reannounces, withdraws);
+}
+
+TEST_F(UpdateTraceTest, ZipfSkewsEventsTowardFewPrefixes) {
+  TraceParams p;
+  p.duration = sim::sec(500);
+  p.events_per_second = 20;
+  p.zipf_s = 1.2;
+  p.session_resets_per_hour = 0;
+  const auto trace = UpdateTrace::generate(p, workload, rng);
+  std::map<std::uint32_t, std::size_t> per_prefix;
+  for (const auto& e : trace.events()) ++per_prefix[e.prefix_idx];
+  // The busiest prefix sees far more events than the median.
+  std::vector<std::size_t> counts;
+  for (const auto& [idx, n] : per_prefix) counts.push_back(n);
+  std::sort(counts.begin(), counts.end());
+  EXPECT_GT(counts.back(),
+            4 * std::max<std::size_t>(counts[counts.size() / 2], 1));
+}
+
+TEST_F(UpdateTraceTest, EventsReferenceAnnouncingAses) {
+  TraceParams p;
+  p.duration = sim::sec(50);
+  p.events_per_second = 10;
+  const auto trace = UpdateTrace::generate(p, workload, rng);
+  for (const auto& e : trace.events()) {
+    const auto& entry = workload.table()[e.prefix_idx];
+    const bool found = std::any_of(
+        entry.anns.begin(), entry.anns.end(),
+        [&](const Announcement& a) { return a.first_as == e.peer_as; });
+    ASSERT_TRUE(found) << "event references non-announcing AS";
+  }
+}
+
+TEST_F(UpdateTraceTest, SessionResetsWithdrawWholePoint) {
+  TraceParams p;
+  p.duration = sim::sec(600);
+  p.events_per_second = 0.001;  // isolate resets
+  p.session_resets_per_hour = 30;
+  const auto trace = UpdateTrace::generate(p, workload, rng);
+  ASSERT_FALSE(trace.events().empty());
+  // Group withdraws by (time, point): each group must cover every
+  // prefix announced at that point.
+  std::map<std::tuple<sim::Time, RouterId, Asn>, std::size_t> bursts;
+  for (const auto& e : trace.events()) {
+    if (e.kind != EventKind::kWithdraw) continue;
+    ASSERT_NE(e.point_router, bgp::kNoRouter);
+    ++bursts[{e.at, e.point_router, e.peer_as}];
+  }
+  ASSERT_FALSE(bursts.empty());
+  for (const auto& [key, count] : bursts) {
+    const auto [at, router, peer_as] = key;
+    std::size_t expected = 0;
+    for (const auto& entry : workload.table()) {
+      for (const auto& a : entry.anns) {
+        if (a.router == router && a.first_as == peer_as) {
+          ++expected;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(count, expected);
+  }
+}
+
+TEST_F(UpdateTraceTest, SessionResetsCanBeDisabled) {
+  TraceParams p;
+  p.duration = sim::sec(600);
+  p.events_per_second = 0.001;
+  p.session_resets_per_hour = 0;
+  const auto trace = UpdateTrace::generate(p, workload, rng);
+  for (const auto& e : trace.events()) {
+    EXPECT_NE(e.kind, EventKind::kWithdraw);
+  }
+}
+
+TEST_F(UpdateTraceTest, EmptyWorkloadProducesNoEvents) {
+  const Workload empty = Workload::from_parts({}, {});
+  const auto trace = UpdateTrace::generate({}, empty, rng);
+  EXPECT_TRUE(trace.events().empty());
+}
+
+}  // namespace
+}  // namespace abrr::trace

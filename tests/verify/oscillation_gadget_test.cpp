@@ -1,0 +1,330 @@
+// §2.3.1 gadgets: TBRR's oscillations and ABRR's immunity.
+//
+// Topology-based gadget: three single-client clusters whose TRRs have
+// cyclically conflicting IGP preferences toward each other's exits
+// (Griffin-Wilfong style). No MED involved: the oscillation survives any
+// MED setting and is fixed only by topology engineering - or by ABRR.
+//
+// MED-based gadget: the RFC 3345 pattern. Intransitive preferences
+// (a >igp b, c >med a, b >igp c) give the two TRRs no fixed point when
+// MED is compared pairwise in arrival order (vendor default). Cisco's
+// deterministic-med fixes this particular gadget; the topology gadget it
+// does not fix. ABRR fixes both.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/address_partition.h"
+#include "ibgp/speaker.h"
+#include "verify/oscillation.h"
+
+namespace abrr::verify {
+namespace {
+
+using bgp::Ipv4Prefix;
+using bgp::Route;
+using bgp::RouteBuilder;
+using ibgp::IbgpMode;
+using ibgp::PeerInfo;
+using ibgp::RouterId;
+using ibgp::Speaker;
+using ibgp::SpeakerConfig;
+
+const Ipv4Prefix kPfx = Ipv4Prefix::parse("10.0.0.0/8");
+
+class GadgetTest : public ::testing::Test {
+ protected:
+  Speaker& add(SpeakerConfig cfg) {
+    cfg.asn = 65000;
+    cfg.mrai = 0;
+    cfg.proc_delay = sim::msec(1);
+    auto s = std::make_unique<Speaker>(cfg, sched, net);
+    auto& ref = *s;
+    speakers.emplace(cfg.id, std::move(s));
+    return ref;
+  }
+
+  Speaker& at(RouterId id) { return *speakers.at(id); }
+
+  void start_all() {
+    for (auto& [id, s] : speakers) {
+      monitor.attach(*s);
+      s->start();
+    }
+  }
+
+  void session(RouterId a, RouterId b) { net.connect(a, b, sim::msec(2)); }
+
+  // eBGP route, AS-level equal across gadget routes unless MED given.
+  Route route(bgp::Asn neighbor_as, std::optional<std::uint32_t> med = {}) {
+    RouteBuilder b{kPfx};
+    b.local_pref(100).as_path({neighbor_as, 65100});
+    if (med) b.med(*med);
+    return b.build();
+  }
+
+  // IGP oracle from a distance table.
+  static bgp::IgpDistanceFn table(std::map<RouterId, std::int64_t> dist) {
+    return [dist = std::move(dist)](RouterId nh) -> std::int64_t {
+      const auto it = dist.find(nh);
+      return it == dist.end() ? 1000 : it->second;
+    };
+  }
+
+  sim::Scheduler sched;
+  sim::Rng rng{1};
+  net::Network net{sched, rng};
+  std::map<RouterId, std::unique_ptr<Speaker>> speakers;
+  OscillationMonitor monitor{20};
+};
+
+// --------------------------------------------------------------------
+// Topology-based oscillation.
+// Clients 1, 2, 3 (one per cluster) inject AS-level-equal routes.
+// TRRs 11, 12, 13 prefer, cyclically, the NEXT cluster's exit.
+// --------------------------------------------------------------------
+class TopologyGadget : public GadgetTest {
+ protected:
+  void BuildTbrr(const bgp::DecisionConfig& dec = {}) {
+    for (RouterId c = 1; c <= 3; ++c) {
+      SpeakerConfig cfg;
+      cfg.id = c;
+      cfg.mode = IbgpMode::kTbrr;
+      cfg.decision = dec;
+      add(cfg);
+    }
+    for (RouterId r = 11; r <= 13; ++r) {
+      SpeakerConfig cfg;
+      cfg.id = r;
+      cfg.mode = IbgpMode::kTbrr;
+      cfg.decision = dec;
+      cfg.cluster_id = r - 10;
+      cfg.data_plane = false;
+      add(cfg);
+    }
+    // Cyclic preferences: TRR 11 is nearest exit 2, 12 nearest 3,
+    // 13 nearest 1; each TRR's own client is second, the third is far.
+    at(11).set_igp(table({{1, 10}, {2, 1}, {3, 100}}));
+    at(12).set_igp(table({{1, 100}, {2, 10}, {3, 1}}));
+    at(13).set_igp(table({{1, 1}, {2, 100}, {3, 10}}));
+
+    for (RouterId c = 1; c <= 3; ++c) {
+      const RouterId rr = c + 10;
+      session(c, rr);
+      at(c).add_peer(PeerInfo{.id = rr, .reflector_tbrr = true});
+      at(rr).add_peer(PeerInfo{.id = c, .rr_client = true});
+    }
+    for (RouterId a = 11; a <= 13; ++a) {
+      for (RouterId b = a + 1; b <= 13; ++b) {
+        session(a, b);
+        at(a).add_peer(PeerInfo{.id = b, .rr_peer = true});
+        at(b).add_peer(PeerInfo{.id = a, .rr_peer = true});
+      }
+    }
+    start_all();
+  }
+
+  void BuildAbrr() {
+    const auto scheme = core::PartitionScheme::uniform(1);
+    for (RouterId c = 1; c <= 3; ++c) {
+      SpeakerConfig cfg;
+      cfg.id = c;
+      cfg.mode = IbgpMode::kAbrr;
+      cfg.ap_of = scheme.mapper();
+      add(cfg);
+    }
+    // Reuse the SAME conflicted boxes as ARRs - their IGP view must not
+    // matter (no constraints on RR placement).
+    for (RouterId r = 11; r <= 12; ++r) {
+      SpeakerConfig cfg;
+      cfg.id = r;
+      cfg.mode = IbgpMode::kAbrr;
+      cfg.ap_of = scheme.mapper();
+      cfg.managed_aps = {0};
+      cfg.data_plane = false;
+      add(cfg);
+    }
+    at(11).set_igp(table({{1, 10}, {2, 1}, {3, 100}}));
+    at(12).set_igp(table({{1, 100}, {2, 10}, {3, 1}}));
+    for (RouterId c = 1; c <= 3; ++c) {
+      for (RouterId r = 11; r <= 12; ++r) {
+        session(c, r);
+        at(c).add_peer(PeerInfo{.id = r, .reflector_for = {0}});
+        at(r).add_peer(PeerInfo{.id = c, .rr_client = true});
+      }
+    }
+    start_all();
+  }
+
+  void Inject() {
+    at(1).inject_ebgp(0x80000001, route(65001));
+    at(2).inject_ebgp(0x80000002, route(65002));
+    at(3).inject_ebgp(0x80000003, route(65003));
+  }
+};
+
+TEST_F(TopologyGadget, TbrrOscillatesForever) {
+  BuildTbrr();
+  Inject();
+  // The gadget has no fixed point: the run never quiesces and TRR bests
+  // keep flipping far past any reasonable convergence.
+  const bool quiesced = sched.run_to_quiescence(200000);
+  EXPECT_FALSE(quiesced);
+  EXPECT_TRUE(monitor.oscillating());
+  EXPECT_GT(monitor.max_flips(), 50u);
+}
+
+TEST_F(TopologyGadget, MedKnobsDoNotFixTopologyOscillation) {
+  // §2.3.1: this oscillation is IGP/topology-driven; no MED setting
+  // (deterministic, always-compare) has any effect on it.
+  bgp::DecisionConfig dec;
+  dec.always_compare_med = true;
+  dec.deterministic_med = true;
+  BuildTbrr(dec);
+  Inject();
+  EXPECT_FALSE(sched.run_to_quiescence(200000));
+  EXPECT_TRUE(monitor.oscillating());
+}
+
+TEST_F(TopologyGadget, AbrrConvergesWithArbitraryArrPlacement) {
+  BuildAbrr();
+  Inject();
+  ASSERT_TRUE(sched.run_to_quiescence(200000));
+  EXPECT_FALSE(monitor.oscillating());
+  // Every client settled on its own exit (eBGP wins over the ties).
+  for (RouterId c = 1; c <= 3; ++c) {
+    const Route* best = at(c).loc_rib().best(kPfx);
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(best->egress(), c);
+  }
+  // And the ARRs advertise the complete 3-route best AS-level set.
+  const auto* set = at(11).out_group(Speaker::arr_group(0))->get(kPfx);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->size(), 3u);
+}
+
+// --------------------------------------------------------------------
+// MED-based oscillation (RFC 3345 pattern).
+// Cluster 1: TRR 11, client 3 with route a (AS W, MED 1).
+// Cluster 2: TRR 12, clients 4 (route b, AS V) and 5 (route c, AS W,
+// MED 0). TRR preferences: a >igp b at both TRRs, b >igp c, c >med a.
+// --------------------------------------------------------------------
+class MedGadget : public GadgetTest {
+ protected:
+  void Build(bool deterministic_med) {
+    bgp::DecisionConfig dec;
+    dec.deterministic_med = deterministic_med;
+
+    const auto add_client = [&](RouterId id) {
+      SpeakerConfig cfg;
+      cfg.id = id;
+      cfg.mode = IbgpMode::kTbrr;
+      cfg.decision = dec;
+      add(cfg);
+    };
+    const auto add_rr = [&](RouterId id, std::uint32_t cluster) {
+      SpeakerConfig cfg;
+      cfg.id = id;
+      cfg.mode = IbgpMode::kTbrr;
+      cfg.decision = dec;
+      cfg.cluster_id = cluster;
+      cfg.data_plane = false;
+      add(cfg);
+    };
+    add_client(3);
+    add_client(4);
+    add_client(5);
+    add_rr(1, 1);  // low id => its mesh advert folds first at TRR 2
+    add_rr(2, 2);
+
+    // Exits: a at router 3, b at 4, c at 5.
+    at(1).set_igp(table({{3, 1}, {4, 5}, {5, 50}}));
+    at(2).set_igp(table({{3, 1}, {4, 5}, {5, 10}}));
+
+    session(3, 1);
+    at(3).add_peer(PeerInfo{.id = 1, .reflector_tbrr = true});
+    at(1).add_peer(PeerInfo{.id = 3, .rr_client = true});
+    for (RouterId c : {4u, 5u}) {
+      session(c, 2);
+      at(c).add_peer(PeerInfo{.id = 2, .reflector_tbrr = true});
+      at(2).add_peer(PeerInfo{.id = c, .rr_client = true});
+    }
+    session(1, 2);
+    at(1).add_peer(PeerInfo{.id = 2, .rr_peer = true});
+    at(2).add_peer(PeerInfo{.id = 1, .rr_peer = true});
+    start_all();
+  }
+
+  void Inject() {
+    at(3).inject_ebgp(0x80000001, route(65001, 1));  // a: AS W, MED 1
+    at(4).inject_ebgp(0x80000002, route(65002));     // b: AS V
+    at(5).inject_ebgp(0x80000003, route(65001, 0));  // c: AS W, MED 0
+  }
+};
+
+TEST_F(MedGadget, VendorOrderDependentMedOscillates) {
+  Build(/*deterministic_med=*/false);
+  Inject();
+  EXPECT_FALSE(sched.run_to_quiescence(200000));
+  EXPECT_TRUE(monitor.oscillating());
+}
+
+TEST_F(MedGadget, DeterministicMedFixesThisParticularGadget) {
+  Build(/*deterministic_med=*/true);
+  Inject();
+  EXPECT_TRUE(sched.run_to_quiescence(200000));
+  EXPECT_FALSE(monitor.oscillating());
+}
+
+TEST_F(MedGadget, AbrrConvergesEvenWithVendorMed) {
+  // Same routes, ABRR plane, vendor (order-dependent) MED at clients.
+  bgp::DecisionConfig dec;
+  dec.deterministic_med = false;
+  const auto scheme = core::PartitionScheme::uniform(1);
+
+  for (RouterId c : {3u, 4u, 5u}) {
+    SpeakerConfig cfg;
+    cfg.id = c;
+    cfg.mode = IbgpMode::kAbrr;
+    cfg.decision = dec;
+    cfg.ap_of = scheme.mapper();
+    add(cfg);
+  }
+  for (RouterId r : {1u, 2u}) {
+    SpeakerConfig cfg;
+    cfg.id = r;
+    cfg.mode = IbgpMode::kAbrr;
+    cfg.decision = dec;
+    cfg.ap_of = scheme.mapper();
+    cfg.managed_aps = {0};
+    cfg.data_plane = false;
+    add(cfg);
+  }
+  at(1).set_igp(table({{3, 1}, {4, 5}, {5, 50}}));
+  at(2).set_igp(table({{3, 1}, {4, 5}, {5, 10}}));
+  for (RouterId c : {3u, 4u, 5u}) {
+    for (RouterId r : {1u, 2u}) {
+      session(c, r);
+      at(c).add_peer(PeerInfo{.id = r, .reflector_for = {0}});
+      at(r).add_peer(PeerInfo{.id = c, .rr_client = true});
+    }
+  }
+  start_all();
+
+  at(3).inject_ebgp(0x80000001, route(65001, 1));
+  at(4).inject_ebgp(0x80000002, route(65002));
+  at(5).inject_ebgp(0x80000003, route(65001, 0));
+
+  ASSERT_TRUE(sched.run_to_quiescence(200000));
+  EXPECT_FALSE(monitor.oscillating());
+  // The ARRs' best AS-level set is {b, c}: route a lost the per-AS MED
+  // comparison at the ARR (steps 1-4) - exactly Table 2.
+  const auto* set = at(1).out_group(Speaker::arr_group(0))->get(kPfx);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->size(), 2u);
+  for (const Route& r : *set) EXPECT_NE(r.egress(), 3u);
+}
+
+}  // namespace
+}  // namespace abrr::verify
