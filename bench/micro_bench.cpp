@@ -1,13 +1,26 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the BGP
 // substrate: decision process, best-AS-level filtering, RIB operations,
-// prefix-trie longest match, scheduler throughput, and SPF.
+// prefix-trie longest match, scheduler throughput, SPF, and a small
+// end-to-end convergence run.
+//
+// Benchmarks measuring an optimized path have a `_Legacy` twin running
+// the pre-optimization strategy (value-semantics elimination, uncached
+// hashing, map-backed RIB storage) so a single run quantifies each
+// speedup. Pass --json_out=PATH to also write a machine-readable report
+// with the computed fast-vs-legacy ratios (see bench/run_bench.sh).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "bgp/attrs_intern.h"
 #include "bgp/decision.h"
 #include "bgp/prefix_trie.h"
 #include "bgp/rib.h"
+#include "common.h"
 #include "igp/spf.h"
 #include "sim/random.h"
 #include "sim/scheduler.h"
@@ -39,15 +52,74 @@ std::vector<Route> make_candidates(std::size_t n, sim::Rng& rng) {
   return out;
 }
 
+// ---------------------------------------------------------------------
+// Legacy reference implementations: the strategies the hot paths used
+// before the pointer-scratch / interning / dense-index overhaul. Kept
+// here (not in the library) purely as benchmark baselines.
+// ---------------------------------------------------------------------
+namespace legacy {
+
+template <typename Key>
+void keep_min(std::vector<Route>& routes, Key key) {
+  if (routes.size() <= 1) return;
+  auto best = key(routes.front());
+  for (std::size_t i = 1; i < routes.size(); ++i) {
+    best = std::min(best, key(routes[i]));
+  }
+  std::erase_if(routes, [&](const Route& r) { return key(r) != best; });
+}
+
+// Value-semantics best-AS-level: copies every candidate, eliminates by
+// erase_if over Route objects, and groups MED minima in a std::map.
+std::vector<Route> best_as_level_routes(std::span<const Route> candidates,
+                                        const bgp::DecisionConfig& cfg) {
+  std::vector<Route> out;
+  out.reserve(candidates.size());
+  for (const Route& r : candidates) {
+    if (r.valid()) out.push_back(r);
+  }
+  keep_min(out, [](const Route& r) {
+    return -static_cast<std::int64_t>(r.attrs->local_pref);
+  });
+  keep_min(out, [](const Route& r) { return r.attrs->as_path.length(); });
+  keep_min(out, [](const Route& r) { return static_cast<int>(r.attrs->origin); });
+  if (out.size() <= 1 || cfg.ignore_med) return out;
+  if (cfg.always_compare_med) {
+    keep_min(out, [&](const Route& r) { return cfg.med_of(r); });
+    return out;
+  }
+  std::map<bgp::Asn, std::uint32_t> group_min;
+  for (const Route& r : out) {
+    const bgp::Asn as = r.neighbor_as();
+    const std::uint32_t med = cfg.med_of(r);
+    const auto it = group_min.find(as);
+    if (it == group_min.end()) {
+      group_min.emplace(as, med);
+    } else {
+      it->second = std::min(it->second, med);
+    }
+  }
+  std::erase_if(out, [&](const Route& r) {
+    return cfg.med_of(r) != group_min.at(r.neighbor_as());
+  });
+  return out;
+}
+
+}  // namespace legacy
+
 void BM_SelectBest(benchmark::State& state) {
   sim::Rng rng{1};
   const auto candidates =
       make_candidates(static_cast<std::size_t>(state.range(0)), rng);
+  std::vector<const Route*> ptrs;
+  for (const Route& r : candidates) ptrs.push_back(&r);
   const bgp::IgpDistanceFn igp = [](bgp::RouterId nh) -> std::int64_t {
     return nh * 7 % 97;
   };
+  std::vector<const Route*> scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bgp::select_best(candidates, 1, igp));
+    benchmark::DoNotOptimize(
+        bgp::select_best_from(ptrs, 1, igp, bgp::DecisionConfig{}, scratch));
   }
 }
 BENCHMARK(BM_SelectBest)->Arg(2)->Arg(10)->Arg(30)->Arg(100);
@@ -56,26 +128,87 @@ void BM_BestAsLevel(benchmark::State& state) {
   sim::Rng rng{1};
   const auto candidates =
       make_candidates(static_cast<std::size_t>(state.range(0)), rng);
+  std::vector<const Route*> ptrs;
+  for (const Route& r : candidates) ptrs.push_back(&r);
+  std::vector<const Route*> out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bgp::best_as_level_routes(candidates));
+    bgp::best_as_level_into(ptrs, bgp::DecisionConfig{}, out);
+    benchmark::DoNotOptimize(out.data());
   }
 }
 BENCHMARK(BM_BestAsLevel)->Arg(10)->Arg(30)->Arg(100);
 
-void BM_AdjRibInAnnounceWithdraw(benchmark::State& state) {
-  sim::Rng rng{2};
-  const auto routes = make_candidates(64, rng);
-  bgp::AdjRibIn rib;
+void BM_BestAsLevel_Legacy(benchmark::State& state) {
+  sim::Rng rng{1};
+  const auto candidates =
+      make_candidates(static_cast<std::size_t>(state.range(0)), rng);
   for (auto _ : state) {
-    for (const auto& r : routes) rib.announce(r);
+    benchmark::DoNotOptimize(
+        legacy::best_as_level_routes(candidates, bgp::DecisionConfig{}));
+  }
+}
+BENCHMARK(BM_BestAsLevel_Legacy)->Arg(10)->Arg(30)->Arg(100);
+
+// The speaker's real Adj-RIB-In access pattern: many prefixes with a
+// handful of paths each, and every announce/withdraw followed by a
+// routes_for() read when the decision pipeline re-runs the prefix.
+void run_adj_rib_in(benchmark::State& state, bool dense) {
+  constexpr std::size_t kPrefixes = 256;
+  constexpr std::size_t kPathsPerPrefix = 4;
+  std::vector<Ipv4Prefix> prefixes;
+  std::vector<Route> routes;
+  for (std::size_t p = 0; p < kPrefixes; ++p) {
+    const Ipv4Prefix pfx{
+        static_cast<bgp::Ipv4Addr>(0x0A000000u + (p << 8)), 24};
+    prefixes.push_back(pfx);
+    for (std::size_t i = 0; i < kPathsPerPrefix; ++i) {
+      RouteBuilder b{pfx};
+      b.path_id(static_cast<bgp::PathId>(i + 1))
+          .local_pref(100)
+          .as_path({static_cast<bgp::Asn>(7000 + i), 64512})
+          .next_hop(static_cast<bgp::RouterId>(i + 1))
+          .learned_from(static_cast<bgp::RouterId>(100 + i),
+                        bgp::LearnedVia::kIbgp);
+      routes.push_back(b.build());
+    }
+  }
+  bgp::AdjRibIn rib;
+  if (dense) {
+    auto index = std::make_shared<bgp::PrefixIndex>();
+    for (const auto& pfx : prefixes) index->add(pfx);
+    rib.set_prefix_index(std::move(index));
+  }
+  std::vector<const Route*> scratch;
+  for (auto _ : state) {
+    for (const auto& r : routes) {
+      rib.announce(r);
+      if (dense) {
+        rib.routes_for(r.prefix, scratch);
+        benchmark::DoNotOptimize(scratch.data());
+      } else {
+        // Pre-overhaul read path: materialize a fresh copy per lookup.
+        auto copy = rib.routes_for(r.prefix);
+        benchmark::DoNotOptimize(copy.data());
+      }
+    }
     for (const auto& r : routes) {
       rib.withdraw(r.learned_from, r.prefix, r.path_id);
     }
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          128);
+                          static_cast<std::int64_t>(2 * routes.size()));
+}
+
+void BM_AdjRibInAnnounceWithdraw(benchmark::State& state) {
+  run_adj_rib_in(state, /*dense=*/true);
 }
 BENCHMARK(BM_AdjRibInAnnounceWithdraw);
+
+void BM_AdjRibInAnnounceWithdraw_Legacy(benchmark::State& state) {
+  bgp::ScopedInterningDisabled no_intern;
+  run_adj_rib_in(state, /*dense=*/false);
+}
+BENCHMARK(BM_AdjRibInAnnounceWithdraw_Legacy);
 
 void BM_TrieLongestMatch(benchmark::State& state) {
   sim::Rng rng{3};
@@ -132,6 +265,181 @@ void BM_RouteSetHash(benchmark::State& state) {
 }
 BENCHMARK(BM_RouteSetHash);
 
+void BM_RouteSetHash_Legacy(benchmark::State& state) {
+  sim::Rng rng{5};
+  const auto routes = make_candidates(10, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::route_set_hash_uncached(routes));
+  }
+}
+BENCHMARK(BM_RouteSetHash_Legacy);
+
+// ---------------------------------------------------------------------
+// End-to-end: a small TBRR deployment converging on an initial snapshot
+// (testbed construction + paced injection + run to quiescence). The
+// legacy twin runs the identical scenario on the map-fallback storage
+// with attribute interning off.
+// ---------------------------------------------------------------------
+struct ConvergenceScenario {
+  topo::Topology topology;
+  trace::Workload workload;
+  std::vector<Ipv4Prefix> prefixes;
+};
+
+const ConvergenceScenario& convergence_scenario() {
+  static const ConvergenceScenario* scenario = [] {
+    bench::ExperimentConfig cfg;
+    cfg.prefixes = 300;
+    cfg.pops = 4;
+    cfg.clients_per_pop = 4;
+    cfg.peer_ases = 8;
+    cfg.points_per_as = 4;
+    cfg.seed = 42;
+    sim::Rng rng{cfg.seed};
+    auto topology = bench::make_paper_topology(cfg, rng);
+    auto workload = bench::make_paper_workload(cfg, topology, rng);
+    auto* s = new ConvergenceScenario{std::move(topology),
+                                      std::move(workload),
+                                      {}};
+    s->prefixes = s->workload.prefixes();
+    return s;
+  }();
+  return *scenario;
+}
+
+void run_convergence(benchmark::State& state, bool fast) {
+  const ConvergenceScenario& s = convergence_scenario();
+  auto options = bench::paper_options(ibgp::IbgpMode::kTbrr, 4, 42);
+  options.use_prefix_index = fast;
+  for (auto _ : state) {
+    harness::Testbed bed{s.topology, options, s.prefixes};
+    const bool converged = bench::load_snapshot(bed, s.workload, 5.0);
+    if (!converged) state.SkipWithError("did not converge");
+    benchmark::DoNotOptimize(bed.rr_rib_in());
+  }
+}
+
+void BM_TestbedConvergence(benchmark::State& state) {
+  run_convergence(state, /*fast=*/true);
+}
+BENCHMARK(BM_TestbedConvergence)->Unit(benchmark::kMillisecond);
+
+void BM_TestbedConvergence_Legacy(benchmark::State& state) {
+  bgp::ScopedInterningDisabled no_intern;
+  run_convergence(state, /*fast=*/false);
+}
+BENCHMARK(BM_TestbedConvergence_Legacy)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// JSON reporting: console output stays the default; --json_out=PATH
+// additionally writes {benchmarks: [...], speedups: [...]} where each
+// speedup pairs a benchmark with its _Legacy twin.
+// ---------------------------------------------------------------------
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_ns = 0;
+    std::int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      // Normalize to nanoseconds regardless of the per-benchmark unit
+      // (GetAdjustedRealTime reports in run.time_unit).
+      row.real_ns = run.GetAdjustedRealTime() *
+                    benchmark::GetTimeUnitMultiplier(benchmark::kNanosecond) /
+                    benchmark::GetTimeUnitMultiplier(run.time_unit);
+      row.iterations = run.iterations;
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool write_json(const std::string& path,
+                const std::vector<CapturingReporter::Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"real_time_ns\": %.3f, "
+                 "\"iterations\": %lld}%s\n",
+                 json_escape(rows[i].name).c_str(), rows[i].real_ns,
+                 static_cast<long long>(rows[i].iterations),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedups\": [\n");
+  // Pair "X_Legacy[/args]" rows with their "X[/args]" fast twin.
+  std::vector<std::string> lines;
+  for (const auto& row : rows) {
+    const std::size_t pos = row.name.find("_Legacy");
+    if (pos == std::string::npos) continue;
+    const std::string fast_name =
+        row.name.substr(0, pos) + row.name.substr(pos + 7);
+    for (const auto& fast : rows) {
+      if (fast.name != fast_name || fast.real_ns <= 0) continue;
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "    {\"benchmark\": \"%s\", \"fast_ns\": %.3f, "
+                    "\"legacy_ns\": %.3f, \"speedup\": %.3f}",
+                    json_escape(fast_name).c_str(), fast.real_ns, row.real_ns,
+                    row.real_ns / fast.real_ns);
+      lines.emplace_back(buf);
+    }
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::fprintf(f, "%s%s\n", lines[i].c_str(),
+                 i + 1 < lines.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract --json_out=PATH before google-benchmark sees the args.
+  std::string json_path;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json_out=", 0) == 0) {
+      json_path = arg.substr(11);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !write_json(json_path, reporter.rows())) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

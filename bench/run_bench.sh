@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the micro-benchmarks and writes BENCH_micro.json at the repo root.
+#
+# Usage: bench/run_bench.sh [build-dir] [extra google-benchmark flags...]
+# The build dir defaults to ./build; build it first with:
+#   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+bench_bin="$build_dir/bench/micro_bench"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not found or not executable; build first" >&2
+  exit 1
+fi
+
+out="$repo_root/BENCH_micro.json"
+"$bench_bin" \
+  --benchmark_min_time=0.2 \
+  --json_out="$out" \
+  "$@"
+echo "wrote $out"

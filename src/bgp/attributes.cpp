@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "bgp/attrs_intern.h"
+
 namespace abrr::bgp {
 
 bool PathAttrs::has_ext_community(ExtCommunity c) const {
@@ -25,7 +27,10 @@ std::size_t PathAttrs::wire_size() const {
 }
 
 AttrsPtr make_attrs(PathAttrs attrs) {
-  return std::make_shared<const PathAttrs>(std::move(attrs));
+  // Unconditional recompute: callers routinely clone-and-mutate (see
+  // with_attrs), which would otherwise carry a stale cached hash.
+  attrs.content_hash = attrs_content_hash(attrs);
+  return AttrsInterner::global().intern(std::move(attrs));
 }
 
 }  // namespace abrr::bgp

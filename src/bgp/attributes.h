@@ -29,8 +29,10 @@ inline constexpr ExtCommunity kAbrrReflectedCommunity = 0xABBA'0000'0000'0001ULL
 /// The attribute set carried by a route.
 ///
 /// Immutable once built and shared between RIB entries via
-/// std::shared_ptr, mirroring how real BGP implementations intern
-/// attribute sets (Quagga's attrhash).
+/// std::shared_ptr. make_attrs() canonicalizes blocks through the
+/// process-wide AttrsInterner (bgp/attrs_intern.h), mirroring how real
+/// BGP implementations intern attribute sets (Quagga's attrhash), so
+/// equal live blocks are pointer-identical.
 struct PathAttrs {
   AsPath as_path;
   Origin origin = Origin::kIncomplete;
@@ -48,21 +50,37 @@ struct PathAttrs {
   /// CLUSTER_LIST (RFC 4456), prepended by each reflector.
   std::vector<std::uint32_t> cluster_list;
 
+  /// Precomputed 64-bit content hash; 0 = not computed yet. Every block
+  /// produced by make_attrs() carries one, making set hashing and
+  /// announcement comparison integer compares. Not a semantic field:
+  /// operator== ignores it (equal content implies equal hash anyway).
+  std::uint64_t content_hash = 0;
+
   bool has_ext_community(ExtCommunity c) const;
 
   /// Wire-size estimate of the attribute block in bytes.
   std::size_t wire_size() const;
 
-  friend bool operator==(const PathAttrs&, const PathAttrs&) = default;
+  friend bool operator==(const PathAttrs& a, const PathAttrs& b) {
+    return a.origin == b.origin && a.next_hop == b.next_hop &&
+           a.local_pref == b.local_pref && a.med == b.med &&
+           a.originator_id == b.originator_id && a.as_path == b.as_path &&
+           a.communities == b.communities &&
+           a.ext_communities == b.ext_communities &&
+           a.cluster_list == b.cluster_list;
+  }
 };
 
 /// Shared immutable attribute handle.
 using AttrsPtr = std::shared_ptr<const PathAttrs>;
 
-/// Interns an attribute set (by-value construction helper).
+/// Interns an attribute set (by-value construction helper): computes the
+/// content hash and canonicalizes through AttrsInterner::global().
 AttrsPtr make_attrs(PathAttrs attrs);
 
-/// Copy-on-write helper: clones `base`, applies `mutate`, and re-wraps.
+/// Copy-on-write helper: clones `base`, applies `mutate`, and re-interns.
+/// The clone's cached hash is invalidated so the mutated block gets a
+/// fresh one (make_attrs recomputes unconditionally).
 template <typename Fn>
 AttrsPtr with_attrs(const AttrsPtr& base, Fn&& mutate) {
   PathAttrs copy = *base;

@@ -1,0 +1,100 @@
+#include "bgp/attrs_intern.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace abrr::bgp {
+namespace {
+
+bool g_interning_enabled = true;
+
+// Sweep the whole table after this many interns; bounds the dead
+// weak_ptr population under attribute churn (MED/path-change replays).
+constexpr std::uint64_t kSweepInterval = 1 << 16;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+}  // namespace
+
+std::uint64_t attrs_content_hash(const PathAttrs& attrs) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  mix(h, static_cast<std::uint64_t>(attrs.origin) + 1);
+  mix(h, attrs.next_hop);
+  mix(h, attrs.local_pref);
+  mix(h, attrs.med ? *attrs.med + 1ULL : 0ULL);
+  mix(h, attrs.as_path.length());
+  for (const Asn asn : attrs.as_path.asns()) mix(h, asn);
+  mix(h, attrs.communities.size());
+  for (const Community c : attrs.communities) mix(h, c);
+  mix(h, attrs.ext_communities.size());
+  for (const ExtCommunity c : attrs.ext_communities) mix(h, c);
+  mix(h, attrs.originator_id ? *attrs.originator_id + 1ULL : 0ULL);
+  mix(h, attrs.cluster_list.size());
+  for (const std::uint32_t c : attrs.cluster_list) mix(h, c);
+  return h == 0 ? 1 : h;
+}
+
+AttrsInterner& AttrsInterner::global() {
+  static AttrsInterner interner;
+  return interner;
+}
+
+void AttrsInterner::set_enabled(bool enabled) { g_interning_enabled = enabled; }
+bool AttrsInterner::enabled() { return g_interning_enabled; }
+
+AttrsPtr AttrsInterner::intern(PathAttrs&& attrs) {
+  if (attrs.content_hash == 0) attrs.content_hash = attrs_content_hash(attrs);
+  if (!g_interning_enabled) {
+    return std::make_shared<const PathAttrs>(std::move(attrs));
+  }
+
+  if (++ops_since_sweep_ >= kSweepInterval) {
+    ops_since_sweep_ = 0;
+    collect();
+  }
+
+  auto& bucket = table_[attrs.content_hash];
+  for (std::size_t i = 0; i < bucket.size();) {
+    if (AttrsPtr live = bucket[i].lock()) {
+      if (*live == attrs) {
+        ++hits_;
+        return live;
+      }
+      ++i;
+    } else {
+      // Opportunistic pruning keeps collided buckets short.
+      bucket[i] = std::move(bucket.back());
+      bucket.pop_back();
+    }
+  }
+  ++misses_;
+  auto canonical = std::make_shared<const PathAttrs>(std::move(attrs));
+  bucket.push_back(canonical);
+  return canonical;
+}
+
+std::size_t AttrsInterner::live_blocks() const {
+  std::size_t n = 0;
+  for (const auto& [hash, bucket] : table_) {
+    for (const auto& weak : bucket) n += weak.expired() ? 0 : 1;
+  }
+  return n;
+}
+
+std::size_t AttrsInterner::collect() {
+  std::size_t removed = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    auto& bucket = it->second;
+    const auto dead = std::remove_if(
+        bucket.begin(), bucket.end(),
+        [](const std::weak_ptr<const PathAttrs>& w) { return w.expired(); });
+    removed += static_cast<std::size_t>(bucket.end() - dead);
+    bucket.erase(dead, bucket.end());
+    it = bucket.empty() ? table_.erase(it) : std::next(it);
+  }
+  return removed;
+}
+
+}  // namespace abrr::bgp

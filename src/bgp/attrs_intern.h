@@ -1,0 +1,89 @@
+// Canonical path-attribute storage (BIRD/Quagga-style "attrhash").
+//
+// Identical attribute sets — which route reflection multiplies across
+// every client session — are stored once per process. Interning gives
+// two hot-path wins: (1) memory: an ARR reflecting one attribute block
+// to hundreds of clients shares a single allocation, and (2) time:
+// every block carries a precomputed 64-bit content hash, so route-set
+// hashing and announcement comparison degrade from deep struct walks to
+// one pointer compare (canonical blocks with equal content are the
+// *same* block) or one integer compare.
+//
+// The simulator is single-threaded; the interner is not synchronized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/attributes.h"
+
+namespace abrr::bgp {
+
+/// 64-bit content hash over every semantic field of an attribute set
+/// (everything operator== compares). Never returns 0, so 0 can serve as
+/// the "not yet computed" sentinel on PathAttrs::content_hash.
+std::uint64_t attrs_content_hash(const PathAttrs& attrs);
+
+/// Process-wide canonicalization table for PathAttrs blocks.
+///
+/// Entries are held weakly: the interner never extends an attribute
+/// block's lifetime, it only folds equal blocks that are alive at the
+/// same time into one allocation. Dead entries are pruned opportunistically
+/// on bucket collisions and by a periodic full sweep, so the table stays
+/// bounded by the number of *live* distinct attribute sets.
+class AttrsInterner {
+ public:
+  /// The process-wide interner used by make_attrs().
+  static AttrsInterner& global();
+
+  /// Canonicalizes `attrs`: returns the existing block when an equal one
+  /// is alive, otherwise moves `attrs` into a fresh canonical block.
+  /// Always returns a block with content_hash set.
+  AttrsPtr intern(PathAttrs&& attrs);
+
+  /// Live distinct blocks currently tracked (expired entries that have
+  /// not been swept yet are not counted).
+  std::size_t live_blocks() const;
+
+  /// Drops expired entries; returns how many were removed.
+  std::size_t collect();
+
+  // Telemetry for benches and tests.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void reset_stats() { hits_ = misses_ = 0; }
+
+  /// Kill switch: with interning disabled, intern() wraps every block in
+  /// a fresh allocation (content hash still computed). Used by the
+  /// equivalence tests and the legacy-path benchmarks.
+  static void set_enabled(bool enabled);
+  static bool enabled();
+
+ private:
+  // hash -> blocks with that content hash (almost always exactly one).
+  std::unordered_map<std::uint64_t, std::vector<std::weak_ptr<const PathAttrs>>>
+      table_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t ops_since_sweep_ = 0;
+};
+
+/// RAII guard for tests/benches that need the legacy (non-interned)
+/// allocation behaviour.
+class ScopedInterningDisabled {
+ public:
+  ScopedInterningDisabled() : prev_(AttrsInterner::enabled()) {
+    AttrsInterner::set_enabled(false);
+  }
+  ~ScopedInterningDisabled() { AttrsInterner::set_enabled(prev_); }
+  ScopedInterningDisabled(const ScopedInterningDisabled&) = delete;
+  ScopedInterningDisabled& operator=(const ScopedInterningDisabled&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace abrr::bgp

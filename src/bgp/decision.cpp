@@ -2,20 +2,36 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
+#include <utility>
 
 namespace abrr::bgp {
 namespace {
 
-// Generic elimination pass: keep the candidates minimising `key`.
+// Generic elimination pass over the pointer scratch buffer: keep the
+// candidates minimising `key`, preserving relative order.
 template <typename Key>
-void keep_min(std::vector<Route>& routes, Key key) {
+void keep_min(std::vector<const Route*>& routes, Key key) {
   if (routes.size() <= 1) return;
-  auto best = key(routes.front());
+  auto best = key(*routes.front());
   for (std::size_t i = 1; i < routes.size(); ++i) {
-    best = std::min(best, key(routes[i]));
+    best = std::min(best, key(*routes[i]));
   }
-  std::erase_if(routes, [&](const Route& r) { return key(r) != best; });
+  std::erase_if(routes, [&](const Route* r) { return key(*r) != best; });
+}
+
+// Value-API shim: materializes survivors as Route copies.
+std::vector<Route> copy_out(const std::vector<const Route*>& ptrs) {
+  std::vector<Route> out;
+  out.reserve(ptrs.size());
+  for (const Route* r : ptrs) out.push_back(*r);
+  return out;
+}
+
+std::vector<const Route*> to_ptrs(std::span<const Route> candidates) {
+  std::vector<const Route*> ptrs;
+  ptrs.reserve(candidates.size());
+  for (const Route& r : candidates) ptrs.push_back(&r);
+  return ptrs;
 }
 
 }  // namespace
@@ -26,48 +42,78 @@ std::uint32_t DecisionConfig::med_of(const Route& r) const {
   return missing_med_as_worst ? std::numeric_limits<std::uint32_t>::max() : 0;
 }
 
-std::vector<Route> filter_as_level_pre_med(std::span<const Route> candidates) {
-  std::vector<Route> routes(candidates.begin(), candidates.end());
-  std::erase_if(routes, [](const Route& r) { return !r.valid(); });
+void filter_as_level_pre_med_into(std::span<const Route* const> candidates,
+                                  std::vector<const Route*>& out) {
+  out.clear();
+  for (const Route* r : candidates) {
+    if (r != nullptr && r->valid()) out.push_back(r);
+  }
   // Step 1: highest LOCAL_PREF (negate for keep_min).
-  keep_min(routes, [](const Route& r) {
+  keep_min(out, [](const Route& r) {
     return -static_cast<std::int64_t>(r.attrs->local_pref);
   });
   // Step 2: shortest AS path.
-  keep_min(routes, [](const Route& r) { return r.attrs->as_path.length(); });
+  keep_min(out, [](const Route& r) { return r.attrs->as_path.length(); });
   // Step 3: lowest origin type.
-  keep_min(routes, [](const Route& r) {
-    return static_cast<int>(r.attrs->origin);
-  });
-  return routes;
+  keep_min(out, [](const Route& r) { return static_cast<int>(r.attrs->origin); });
 }
 
-std::vector<Route> best_as_level_routes(std::span<const Route> candidates,
-                                        const DecisionConfig& cfg) {
-  std::vector<Route> routes = filter_as_level_pre_med(candidates);
-  if (routes.size() <= 1 || cfg.ignore_med) return routes;
+void best_as_level_into(std::span<const Route* const> candidates,
+                        const DecisionConfig& cfg,
+                        std::vector<const Route*>& out) {
+  filter_as_level_pre_med_into(candidates, out);
+  if (out.size() <= 1 || cfg.ignore_med) return;
 
   // Step 4: lowest MED. Default semantics compare only within a
   // neighbor-AS group (deterministic-MED elimination); the survivors of
   // every group together form the best AS-level set.
   if (cfg.always_compare_med) {
-    keep_min(routes, [&](const Route& r) { return cfg.med_of(r); });
-    return routes;
+    keep_min(out, [&](const Route& r) { return cfg.med_of(r); });
+    return;
   }
-  std::map<Asn, std::uint32_t> group_min;
-  for (const Route& r : routes) {
-    const auto [it, inserted] = group_min.emplace(r.neighbor_as(), cfg.med_of(r));
-    if (!inserted) it->second = std::min(it->second, cfg.med_of(r));
+  // Per-group minima in a flat scratch: candidate sets see a handful of
+  // neighbor ASes, where a linear scan beats a node-based map.
+  static thread_local std::vector<std::pair<Asn, std::uint32_t>> group_min;
+  group_min.clear();
+  for (const Route* r : out) {
+    const Asn as = r->neighbor_as();
+    const std::uint32_t med = cfg.med_of(*r);
+    auto it = std::find_if(group_min.begin(), group_min.end(),
+                           [&](const auto& g) { return g.first == as; });
+    if (it == group_min.end()) {
+      group_min.emplace_back(as, med);
+    } else {
+      it->second = std::min(it->second, med);
+    }
   }
-  std::erase_if(routes, [&](const Route& r) {
-    return cfg.med_of(r) != group_min.at(r.neighbor_as());
+  std::erase_if(out, [&](const Route* r) {
+    const Asn as = r->neighbor_as();
+    const auto it = std::find_if(group_min.begin(), group_min.end(),
+                                 [&](const auto& g) { return g.first == as; });
+    return cfg.med_of(*r) != it->second;
   });
-  return routes;
 }
 
-Route select_best_sequential(std::span<const Route> candidates, RouterId self,
-                             const IgpDistanceFn& igp_distance,
-                             const DecisionConfig& cfg) {
+std::vector<Route> filter_as_level_pre_med(std::span<const Route> candidates) {
+  const auto ptrs = to_ptrs(candidates);
+  std::vector<const Route*> out;
+  filter_as_level_pre_med_into(ptrs, out);
+  return copy_out(out);
+}
+
+std::vector<Route> best_as_level_routes(std::span<const Route> candidates,
+                                        const DecisionConfig& cfg) {
+  const auto ptrs = to_ptrs(candidates);
+  std::vector<const Route*> out;
+  best_as_level_into(ptrs, cfg, out);
+  return copy_out(out);
+}
+
+namespace {
+
+const Route* select_best_sequential_from(
+    std::span<const Route* const> candidates, RouterId self,
+    const IgpDistanceFn& igp_distance, const DecisionConfig& cfg) {
   const auto igp_cost = [&](const Route& r) -> std::int64_t {
     const RouterId nh = r.egress();
     if (nh == self) return 0;
@@ -106,25 +152,28 @@ Route select_best_sequential(std::span<const Route> candidates, RouterId self,
     return a.path_id < b.path_id;
   };
 
-  Route best;
-  for (const Route& r : candidates) {
-    if (!r.valid() || igp_cost(r) == kIgpInfinity) continue;
-    if (!best.valid() || beats(r, best)) best = r;
+  const Route* best = nullptr;
+  for (const Route* r : candidates) {
+    if (r == nullptr || !r->valid() || igp_cost(*r) == kIgpInfinity) continue;
+    if (best == nullptr || beats(*r, *best)) best = r;
   }
   return best;
 }
 
-Route select_best(std::span<const Route> candidates, RouterId self,
-                  const IgpDistanceFn& igp_distance,
-                  const DecisionConfig& cfg) {
+}  // namespace
+
+const Route* select_best_from(std::span<const Route* const> candidates,
+                              RouterId self, const IgpDistanceFn& igp_distance,
+                              const DecisionConfig& cfg,
+                              std::vector<const Route*>& scratch) {
   if (!cfg.deterministic_med) {
-    return select_best_sequential(candidates, self, igp_distance, cfg);
+    return select_best_sequential_from(candidates, self, igp_distance, cfg);
   }
-  std::vector<Route> routes = best_as_level_routes(candidates, cfg);
-  if (routes.empty()) return {};
+  best_as_level_into(candidates, cfg, scratch);
+  if (scratch.empty()) return nullptr;
 
   // Step 5: prefer eBGP-learned (and locally-originated) over iBGP.
-  keep_min(routes, [](const Route& r) {
+  keep_min(scratch, [](const Route& r) {
     return r.via == LearnedVia::kIbgp ? 1 : 0;
   });
 
@@ -134,27 +183,48 @@ Route select_best(std::span<const Route> candidates, RouterId self,
     if (nh == self) return 0;
     return igp_distance ? igp_distance(nh) : 0;
   };
-  keep_min(routes, igp_cost);
+  keep_min(scratch, igp_cost);
   // Routes whose next hop is unreachable are unusable.
-  if (!routes.empty() && igp_cost(routes.front()) == kIgpInfinity) return {};
+  if (!scratch.empty() && igp_cost(*scratch.front()) == kIgpInfinity) {
+    return nullptr;
+  }
 
   // Step 7 (RFC 4456 refinement): prefer the route with the lower
   // ORIGINATOR_ID / router ID of the advertising router...
   if (cfg.prefer_shorter_cluster_list) {
     // ...but first the shorter CLUSTER_LIST (RFC 4456 §9).
-    keep_min(routes, [](const Route& r) {
+    keep_min(scratch, [](const Route& r) {
       return r.attrs->cluster_list.size();
     });
   }
-  keep_min(routes, [](const Route& r) {
+  keep_min(scratch, [](const Route& r) {
     return r.attrs->originator_id ? *r.attrs->originator_id : r.learned_from;
   });
 
   // Step 8: lowest peer address; our peer addresses are RouterIds. A
   // final path-id tie-break guarantees a total order (determinism).
-  keep_min(routes, [](const Route& r) { return r.learned_from; });
-  keep_min(routes, [](const Route& r) { return r.path_id; });
-  return routes.front();
+  keep_min(scratch, [](const Route& r) { return r.learned_from; });
+  keep_min(scratch, [](const Route& r) { return r.path_id; });
+  return scratch.front();
+}
+
+Route select_best_sequential(std::span<const Route> candidates, RouterId self,
+                             const IgpDistanceFn& igp_distance,
+                             const DecisionConfig& cfg) {
+  const auto ptrs = to_ptrs(candidates);
+  const Route* best =
+      select_best_sequential_from(ptrs, self, igp_distance, cfg);
+  return best != nullptr ? *best : Route{};
+}
+
+Route select_best(std::span<const Route> candidates, RouterId self,
+                  const IgpDistanceFn& igp_distance,
+                  const DecisionConfig& cfg) {
+  const auto ptrs = to_ptrs(candidates);
+  std::vector<const Route*> scratch;
+  const Route* best =
+      select_best_from(ptrs, self, igp_distance, cfg, scratch);
+  return best != nullptr ? *best : Route{};
 }
 
 Route select_best_no_igp(std::span<const Route> candidates,

@@ -52,6 +52,34 @@ struct DecisionConfig {
 /// The returned routes point into `candidates` by value copy.
 std::vector<Route> filter_as_level_pre_med(std::span<const Route> candidates);
 
+// ---------------------------------------------------------------------
+// Copy-free variants. The speaker pipeline feeds the decision process
+// with `const Route*` scratch buffers pointing into the Adj-RIB-In, so
+// selection never copies a Route (each copy costs a shared_ptr refcount
+// bump and ~80 bytes of moves). All `_into` functions clear `out` first
+// and preserve candidate order among survivors, exactly like their
+// copying counterparts. Pointers stay valid as long as the underlying
+// RIB storage is not mutated.
+// ---------------------------------------------------------------------
+
+/// Pointer variant of filter_as_level_pre_med.
+void filter_as_level_pre_med_into(std::span<const Route* const> candidates,
+                                  std::vector<const Route*>& out);
+
+/// Pointer variant of best_as_level_routes.
+void best_as_level_into(std::span<const Route* const> candidates,
+                        const DecisionConfig& cfg,
+                        std::vector<const Route*>& out);
+
+/// Pointer variant of select_best: returns the winner (pointing into
+/// `candidates`' referents) or nullptr when nothing is usable. `scratch`
+/// is caller-owned elimination space (reused across calls to avoid
+/// per-prefix allocations).
+const Route* select_best_from(std::span<const Route* const> candidates,
+                              RouterId self, const IgpDistanceFn& igp_distance,
+                              const DecisionConfig& cfg,
+                              std::vector<const Route*>& scratch);
+
 /// The paper's "best AS-level routes": survivors of steps 1-4.
 ///
 /// Step 4 (MED) uses deterministic per-neighbor-AS elimination: within

@@ -4,14 +4,75 @@
 #include <stdexcept>
 
 namespace abrr::bgp {
+namespace {
+
+struct KeyLess {
+  bool operator()(const std::pair<std::pair<RouterId, PathId>, Route>& entry,
+                  const std::pair<RouterId, PathId>& key) const {
+    return entry.first < key;
+  }
+};
+
+}  // namespace
+
+// --- AdjRibIn ---------------------------------------------------------
+
+void AdjRibIn::set_prefix_index(std::shared_ptr<const PrefixIndex> index) {
+  index_ = std::move(index);
+  if (!index_) return;
+  if (flat_.size() < index_->size()) flat_.resize(index_->size());
+  // Migrate entries that are now indexable out of the fallback map.
+  for (auto it = table_.begin(); it != table_.end();) {
+    const auto id = index_->id_of(it->first);
+    if (id) {
+      flat_[*id] = std::move(it->second);
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const AdjRibIn::PathList* AdjRibIn::find_list(const Ipv4Prefix& prefix) const {
+  if (index_) {
+    const auto id = index_->id_of(prefix);
+    if (id) {
+      if (*id >= flat_.size() || flat_[*id].empty()) return nullptr;
+      return &flat_[*id];
+    }
+  }
+  const auto it = table_.find(prefix);
+  if (it == table_.end() || it->second.empty()) return nullptr;
+  return &it->second;
+}
+
+AdjRibIn::PathList& AdjRibIn::ensure_list(const Ipv4Prefix& prefix) {
+  if (index_) {
+    const auto id = index_->id_of(prefix);
+    if (id) {
+      if (*id >= flat_.size()) flat_.resize(index_->size());
+      return flat_[*id];
+    }
+  }
+  return table_[prefix];
+}
+
+void AdjRibIn::erase_if_empty(const Ipv4Prefix& prefix) {
+  // Flat slots keep their (empty) vector; only the fallback map sheds
+  // nodes, matching the old per-prefix erase.
+  if (index_ && index_->id_of(prefix)) return;
+  const auto it = table_.find(prefix);
+  if (it != table_.end() && it->second.empty()) table_.erase(it);
+}
 
 AdjRibIn::Change AdjRibIn::announce(const Route& route) {
   if (!route.valid()) throw std::invalid_argument{"announce: invalid route"};
-  auto& paths = table_[route.prefix];
+  PathList& paths = ensure_list(route.prefix);
   const Key key{route.learned_from, route.path_id};
-  const auto it = paths.find(key);
-  if (it == paths.end()) {
-    paths.emplace(key, route);
+  const auto it =
+      std::lower_bound(paths.begin(), paths.end(), key, KeyLess{});
+  if (it == paths.end() || it->first != key) {
+    paths.insert(it, {key, route});
     ++size_;
     ++per_peer_[route.learned_from];
     return Change::kAdded;
@@ -25,62 +86,76 @@ AdjRibIn::Change AdjRibIn::announce(const Route& route) {
 
 bool AdjRibIn::withdraw(RouterId peer, const Ipv4Prefix& prefix,
                         PathId path_id) {
-  const auto pit = table_.find(prefix);
-  if (pit == table_.end()) return false;
-  if (pit->second.erase(Key{peer, path_id}) == 0) return false;
+  PathList& paths = ensure_list(prefix);
+  const Key key{peer, path_id};
+  const auto it =
+      std::lower_bound(paths.begin(), paths.end(), key, KeyLess{});
+  if (it == paths.end() || it->first != key) {
+    erase_if_empty(prefix);
+    return false;
+  }
+  paths.erase(it);
   --size_;
   --per_peer_[peer];
-  if (pit->second.empty()) table_.erase(pit);
+  erase_if_empty(prefix);
   return true;
 }
 
 std::size_t AdjRibIn::withdraw_prefix(RouterId peer, const Ipv4Prefix& prefix) {
-  const auto pit = table_.find(prefix);
-  if (pit == table_.end()) return 0;
-  std::size_t removed = 0;
-  for (auto it = pit->second.begin(); it != pit->second.end();) {
-    if (it->first.first == peer) {
-      it = pit->second.erase(it);
-      ++removed;
-    } else {
-      ++it;
-    }
-  }
+  PathList& paths = ensure_list(prefix);
+  const std::size_t before = paths.size();
+  std::erase_if(paths, [&](const auto& entry) {
+    return entry.first.first == peer;
+  });
+  const std::size_t removed = before - paths.size();
   size_ -= removed;
   per_peer_[peer] -= removed;
-  if (pit->second.empty()) table_.erase(pit);
+  erase_if_empty(prefix);
   return removed;
 }
 
 std::vector<Ipv4Prefix> AdjRibIn::withdraw_peer(RouterId peer) {
   std::vector<Ipv4Prefix> affected;
+  const auto purge = [&](const Ipv4Prefix& prefix, PathList& paths) {
+    const std::size_t before = paths.size();
+    std::erase_if(paths, [&](const auto& entry) {
+      return entry.first.first == peer;
+    });
+    if (paths.size() != before) {
+      affected.push_back(prefix);
+      size_ -= before - paths.size();
+    }
+  };
+  for (std::size_t id = 0; id < flat_.size(); ++id) {
+    if (!flat_[id].empty()) purge(index_->prefix_of(id), flat_[id]);
+  }
   for (auto it = table_.begin(); it != table_.end();) {
-    std::size_t removed = 0;
-    for (auto pit = it->second.begin(); pit != it->second.end();) {
-      if (pit->first.first == peer) {
-        pit = it->second.erase(pit);
-        ++removed;
-      } else {
-        ++pit;
-      }
-    }
-    if (removed > 0) {
-      affected.push_back(it->first);
-      size_ -= removed;
-    }
+    purge(it->first, it->second);
     it = it->second.empty() ? table_.erase(it) : std::next(it);
   }
   per_peer_.erase(peer);
+  // Sorted so downstream re-decisions run in a storage-independent
+  // (and deterministic) order.
+  std::sort(affected.begin(), affected.end());
   return affected;
 }
 
 std::vector<Route> AdjRibIn::routes_for(const Ipv4Prefix& prefix) const {
   std::vector<Route> out;
-  const auto it = table_.find(prefix);
-  if (it == table_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [key, route] : it->second) out.push_back(route);
+  const PathList* paths = find_list(prefix);
+  if (paths == nullptr) return out;
+  out.reserve(paths->size());
+  for (const auto& [key, route] : *paths) out.push_back(route);
   return out;
+}
+
+void AdjRibIn::routes_for(const Ipv4Prefix& prefix,
+                          std::vector<const Route*>& out) const {
+  out.clear();
+  const PathList* paths = find_list(prefix);
+  if (paths == nullptr) return;
+  out.reserve(paths->size());
+  for (const auto& [key, route] : *paths) out.push_back(&route);
 }
 
 std::size_t AdjRibIn::peer_size(RouterId peer) const {
@@ -89,13 +164,52 @@ std::size_t AdjRibIn::peer_size(RouterId peer) const {
 }
 
 void AdjRibIn::for_each(const std::function<void(const Route&)>& fn) const {
+  for (const PathList& paths : flat_) {
+    for (const auto& [key, route] : paths) fn(route);
+  }
   for (const auto& [prefix, paths] : table_) {
     for (const auto& [key, route] : paths) fn(route);
   }
 }
 
+// --- LocRib -----------------------------------------------------------
+
+void LocRib::set_prefix_index(std::shared_ptr<const PrefixIndex> index) {
+  index_ = std::move(index);
+  if (!index_) return;
+  if (flat_.size() < index_->size()) flat_.resize(index_->size());
+  for (auto it = table_.begin(); it != table_.end();) {
+    const auto id = index_->id_of(it->first);
+    if (id) {
+      flat_[*id] = std::move(it->second);
+      ++flat_count_;
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 bool LocRib::install(const Route& route) {
   if (!route.valid()) throw std::invalid_argument{"install: invalid route"};
+  if (index_) {
+    const auto id = index_->id_of(route.prefix);
+    if (id) {
+      if (*id >= flat_.size()) flat_.resize(index_->size());
+      Route& slot = flat_[*id];
+      if (!slot.valid()) {
+        slot = route;
+        ++flat_count_;
+        return true;
+      }
+      if (slot.same_announcement(route) &&
+          slot.learned_from == route.learned_from && slot.via == route.via) {
+        return false;
+      }
+      slot = route;
+      return true;
+    }
+  }
   auto [it, inserted] = table_.emplace(route.prefix, route);
   if (inserted) return true;
   if (it->second.same_announcement(route) &&
@@ -108,16 +222,52 @@ bool LocRib::install(const Route& route) {
 }
 
 bool LocRib::remove(const Ipv4Prefix& prefix) {
+  if (index_) {
+    const auto id = index_->id_of(prefix);
+    if (id) {
+      if (*id >= flat_.size() || !flat_[*id].valid()) return false;
+      flat_[*id] = Route{};
+      --flat_count_;
+      return true;
+    }
+  }
   return table_.erase(prefix) > 0;
 }
 
 const Route* LocRib::best(const Ipv4Prefix& prefix) const {
+  if (index_) {
+    const auto id = index_->id_of(prefix);
+    if (id) {
+      if (*id >= flat_.size() || !flat_[*id].valid()) return nullptr;
+      return &flat_[*id];
+    }
+  }
   const auto it = table_.find(prefix);
   return it == table_.end() ? nullptr : &it->second;
 }
 
 void LocRib::for_each(const std::function<void(const Route&)>& fn) const {
+  for (const Route& route : flat_) {
+    if (route.valid()) fn(route);
+  }
   for (const auto& [prefix, route] : table_) fn(route);
+}
+
+// --- AdjRibOut --------------------------------------------------------
+
+void AdjRibOut::set_prefix_index(std::shared_ptr<const PrefixIndex> index) {
+  index_ = std::move(index);
+  if (!index_) return;
+  if (flat_.size() < index_->size()) flat_.resize(index_->size());
+  for (auto it = table_.begin(); it != table_.end();) {
+    const auto id = index_->id_of(it->first);
+    if (id) {
+      flat_[*id] = std::move(it->second);
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 namespace {
@@ -140,8 +290,21 @@ std::optional<UpdateMessage> AdjRibOut::set(const Ipv4Prefix& prefix,
     return a.path_id < b.path_id;
   });
 
-  const auto it = table_.find(prefix);
-  const std::vector<Route>* old = it == table_.end() ? nullptr : &it->second;
+  std::vector<Route>* slot = nullptr;
+  if (index_) {
+    const auto id = index_->id_of(prefix);
+    if (id) {
+      if (*id >= flat_.size()) flat_.resize(index_->size());
+      slot = &flat_[*id];
+    }
+  }
+  const std::vector<Route>* old = nullptr;
+  if (slot != nullptr) {
+    old = slot->empty() ? nullptr : slot;
+  } else {
+    const auto it = table_.find(prefix);
+    old = it == table_.end() ? nullptr : &it->second;
+  }
   if (old == nullptr && routes.empty()) return std::nullopt;
   if (old != nullptr && same_route_set(*old, routes)) return std::nullopt;
 
@@ -174,7 +337,9 @@ std::optional<UpdateMessage> AdjRibOut::set(const Ipv4Prefix& prefix,
   // Commit.
   if (old != nullptr) size_ -= old->size();
   size_ += routes.size();
-  if (routes.empty()) {
+  if (slot != nullptr) {
+    *slot = std::move(routes);
+  } else if (routes.empty()) {
     table_.erase(prefix);
   } else {
     table_[prefix] = std::move(routes);
@@ -183,6 +348,13 @@ std::optional<UpdateMessage> AdjRibOut::set(const Ipv4Prefix& prefix,
 }
 
 const std::vector<Route>* AdjRibOut::get(const Ipv4Prefix& prefix) const {
+  if (index_) {
+    const auto id = index_->id_of(prefix);
+    if (id) {
+      if (*id >= flat_.size() || flat_[*id].empty()) return nullptr;
+      return &flat_[*id];
+    }
+  }
   const auto it = table_.find(prefix);
   return it == table_.end() ? nullptr : &it->second;
 }
@@ -190,6 +362,9 @@ const std::vector<Route>* AdjRibOut::get(const Ipv4Prefix& prefix) const {
 void AdjRibOut::for_each(
     const std::function<void(const Ipv4Prefix&, const std::vector<Route>&)>&
         fn) const {
+  for (std::size_t id = 0; id < flat_.size(); ++id) {
+    if (!flat_[id].empty()) fn(index_->prefix_of(id), flat_[id]);
+  }
   for (const auto& [prefix, routes] : table_) fn(prefix, routes);
 }
 

@@ -3,16 +3,24 @@
 // Definitions follow §3.2 of the paper, which in turn follows RFC 4271:
 // Adj-RIB-In holds what each neighbor reported; Adj-RIB-Out holds what is
 // reported to neighbors (one logical copy per peer group).
+//
+// Storage: experiments know the prefix universe up front, so each RIB can
+// be given a shared PrefixIndex (set_prefix_index). Indexed prefixes then
+// live in flat vectors addressed by dense PrefixId — one array access
+// instead of an unordered_map probe on every hot-path touch. Prefixes
+// outside the index (and all prefixes when no index is set) fall back to
+// the original map storage; both paths behave identically.
 #pragma once
 
 #include <cstddef>
 #include <functional>
-#include <map>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "bgp/prefix_index.h"
 #include "bgp/route.h"
 #include "bgp/update.h"
 
@@ -25,6 +33,10 @@ class AdjRibIn {
   /// Result of applying an announcement.
   enum class Change { kUnchanged, kAdded, kReplaced };
 
+  /// Switches indexed prefixes to dense flat storage. Call before or
+  /// after inserts (existing indexed entries migrate).
+  void set_prefix_index(std::shared_ptr<const PrefixIndex> index);
+
   /// Stores/overwrites the route keyed by (prefix, learned_from,
   /// path_id). Requires route.valid().
   Change announce(const Route& route);
@@ -36,11 +48,17 @@ class AdjRibIn {
   std::size_t withdraw_prefix(RouterId peer, const Ipv4Prefix& prefix);
 
   /// Session teardown: removes everything from `peer`; returns the
-  /// affected prefixes (for re-running decisions).
+  /// affected prefixes (sorted) for re-running decisions.
   std::vector<Ipv4Prefix> withdraw_peer(RouterId peer);
 
   /// All routes currently known for `prefix`, across all peers.
   std::vector<Route> routes_for(const Ipv4Prefix& prefix) const;
+
+  /// Copy-free variant: clears `out` and fills it with pointers to the
+  /// stored routes (ordered by (peer, path id), same as routes_for).
+  /// Pointers stay valid until the next mutation of this RIB.
+  void routes_for(const Ipv4Prefix& prefix,
+                  std::vector<const Route*>& out) const;
 
   /// Total entries (the paper's RIB-In size metric).
   std::size_t size() const { return size_; }
@@ -53,7 +71,17 @@ class AdjRibIn {
 
  private:
   using Key = std::pair<RouterId, PathId>;
-  std::unordered_map<Ipv4Prefix, std::map<Key, Route>> table_;
+  /// Sorted-by-key flat path list: node-free storage whose iteration
+  /// order matches the std::map it replaced.
+  using PathList = std::vector<std::pair<Key, Route>>;
+
+  const PathList* find_list(const Ipv4Prefix& prefix) const;
+  PathList& ensure_list(const Ipv4Prefix& prefix);
+  void erase_if_empty(const Ipv4Prefix& prefix);
+
+  std::shared_ptr<const PrefixIndex> index_;
+  std::vector<PathList> flat_;  // slot per PrefixId; empty = no routes
+  std::unordered_map<Ipv4Prefix, PathList> table_;  // unindexed fallback
   std::unordered_map<RouterId, std::size_t> per_peer_;
   std::size_t size_ = 0;
 };
@@ -61,6 +89,8 @@ class AdjRibIn {
 /// Loc-RIB: the single chosen best route per prefix.
 class LocRib {
  public:
+  void set_prefix_index(std::shared_ptr<const PrefixIndex> index);
+
   /// Installs `route` as best for its prefix; returns true if this
   /// changed the entry (new or different announcement).
   bool install(const Route& route);
@@ -71,12 +101,15 @@ class LocRib {
   /// Current best, or nullptr.
   const Route* best(const Ipv4Prefix& prefix) const;
 
-  std::size_t size() const { return table_.size(); }
+  std::size_t size() const { return flat_count_ + table_.size(); }
 
   void for_each(const std::function<void(const Route&)>& fn) const;
 
  private:
-  std::unordered_map<Ipv4Prefix, Route> table_;
+  std::shared_ptr<const PrefixIndex> index_;
+  std::vector<Route> flat_;  // slot per PrefixId; !valid() = empty
+  std::size_t flat_count_ = 0;
+  std::unordered_map<Ipv4Prefix, Route> table_;  // unindexed fallback
 };
 
 /// Adj-RIB-Out for one peer group: the set of routes advertised per
@@ -84,6 +117,8 @@ class LocRib {
 /// set for ARRs and multi-path TRRs).
 class AdjRibOut {
  public:
+  void set_prefix_index(std::shared_ptr<const PrefixIndex> index);
+
   /// Replaces the advertised set for `prefix`. Returns the update to
   /// send if something changed, std::nullopt otherwise. `full_set`
   /// selects ABRR replacement semantics for the generated message;
@@ -103,7 +138,9 @@ class AdjRibOut {
           fn) const;
 
  private:
-  std::unordered_map<Ipv4Prefix, std::vector<Route>> table_;
+  std::shared_ptr<const PrefixIndex> index_;
+  std::vector<std::vector<Route>> flat_;  // slot per PrefixId; empty = none
+  std::unordered_map<Ipv4Prefix, std::vector<Route>> table_;  // fallback
   std::size_t size_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "bgp/route.h"
 
+#include "bgp/attrs_intern.h"
+
 namespace abrr::bgp {
 namespace {
 
@@ -7,25 +9,49 @@ void mix(std::uint64_t& h, std::uint64_t v) {
   h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
 }
 
+void mix_route(std::uint64_t& h, const Route& r) {
+  mix(h, r.path_id);
+  if (!r.attrs) return;
+  // Interned blocks carry their content hash; one mix replaces the deep
+  // attribute walk. The fallback covers hand-built blocks in tests.
+  const std::uint64_t cached = r.attrs->content_hash;
+  mix(h, cached != 0 ? cached : attrs_content_hash(*r.attrs));
+}
+
+void mix_route_uncached(std::uint64_t& h, const Route& r) {
+  mix(h, r.path_id);
+  if (!r.attrs) return;
+  const PathAttrs& a = *r.attrs;
+  mix(h, a.next_hop);
+  mix(h, a.local_pref);
+  mix(h, a.med ? *a.med + 1ULL : 0ULL);
+  mix(h, static_cast<std::uint64_t>(a.origin) + 1);
+  for (const Asn asn : a.as_path.asns()) mix(h, asn);
+  mix(h, a.originator_id ? *a.originator_id + 1ULL : 0ULL);
+  for (const auto c : a.cluster_list) mix(h, c);
+  for (const auto c : a.ext_communities) mix(h, c);
+}
+
+constexpr std::uint64_t kSetHashSeed = 0x84222325cbf29ce4ULL;
+
 }  // namespace
 
-std::uint32_t route_set_hash(const std::vector<Route>& routes) {
-  std::uint64_t h = 0x84222325cbf29ce4ULL;
-  for (const Route& r : routes) {
-    mix(h, r.path_id);
-    if (!r.attrs) continue;
-    const PathAttrs& a = *r.attrs;
-    mix(h, a.next_hop);
-    mix(h, a.local_pref);
-    mix(h, a.med ? *a.med + 1ULL : 0ULL);
-    mix(h, static_cast<std::uint64_t>(a.origin) + 1);
-    for (const Asn asn : a.as_path.asns()) mix(h, asn);
-    mix(h, a.originator_id ? *a.originator_id + 1ULL : 0ULL);
-    for (const auto c : a.cluster_list) mix(h, c);
-    for (const auto c : a.ext_communities) mix(h, c);
-  }
-  const auto folded = static_cast<std::uint32_t>(h ^ (h >> 32));
-  return folded == 0 ? 1 : folded;
+std::uint64_t route_set_hash(const std::vector<Route>& routes) {
+  std::uint64_t h = kSetHashSeed;
+  for (const Route& r : routes) mix_route(h, r);
+  return h == 0 ? 1 : h;
+}
+
+std::uint64_t route_set_hash(std::span<const Route* const> routes) {
+  std::uint64_t h = kSetHashSeed;
+  for (const Route* r : routes) mix_route(h, *r);
+  return h == 0 ? 1 : h;
+}
+
+std::uint64_t route_set_hash_uncached(const std::vector<Route>& routes) {
+  std::uint64_t h = kSetHashSeed;
+  for (const Route& r : routes) mix_route_uncached(h, r);
+  return h == 0 ? 1 : h;
 }
 
 std::string Route::to_string() const {

@@ -1,6 +1,7 @@
 // A route: prefix + shared attributes + per-router bookkeeping.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "bgp/attributes.h"
@@ -37,11 +38,19 @@ struct Route {
   /// RouterId (see bgp/types.h).
   RouterId egress() const { return static_cast<RouterId>(attrs->next_hop); }
 
-  /// Same announced content (prefix, path id, attributes)?
+  /// Same announced content (prefix, path id, attributes)? Interned
+  /// attribute blocks make this a pointer compare; otherwise the cached
+  /// content hashes decide (falling back to a deep compare only when a
+  /// hash is missing or as collision insurance).
   bool same_announcement(const Route& other) const {
-    return prefix == other.prefix && path_id == other.path_id &&
-           (attrs == other.attrs ||
-            (attrs && other.attrs && *attrs == *other.attrs));
+    if (prefix != other.prefix || path_id != other.path_id) return false;
+    if (attrs == other.attrs) return true;
+    if (!attrs || !other.attrs) return false;
+    if (attrs->content_hash != 0 && other.attrs->content_hash != 0 &&
+        attrs->content_hash != other.attrs->content_hash) {
+      return false;
+    }
+    return *attrs == *other.attrs;
   }
 
   std::string to_string() const;
@@ -50,8 +59,20 @@ struct Route {
 /// Content hash of an advertised route set (canonical path-id order).
 /// Never returns 0, so 0 can mean "nothing advertised". Used by speakers
 /// to suppress duplicate transmissions without storing full per-peer
-/// copies of the Adj-RIB-Out.
-std::uint32_t route_set_hash(const std::vector<Route>& routes);
+/// copies of the Adj-RIB-Out. 64 bits wide: the per-peer sent-hash state
+/// compares these across the whole run, and a 32-bit hash starts
+/// colliding — silently suppressing a needed transmission — around 2^16
+/// distinct advertised sets. Routes with interned attributes hash via
+/// their cached content hash.
+std::uint64_t route_set_hash(const std::vector<Route>& routes);
+
+/// Same hash over a pointer set (the copy-free pipeline's currency).
+std::uint64_t route_set_hash(std::span<const Route* const> routes);
+
+/// Deep-walk variant that ignores cached attribute hashes; exposed so
+/// benches can quantify the caching win (identical distribution, not
+/// identical values).
+std::uint64_t route_set_hash_uncached(const std::vector<Route>& routes);
 
 /// Convenience builder for tests and workload generators.
 class RouteBuilder {

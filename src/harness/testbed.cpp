@@ -12,8 +12,10 @@ Testbed::Testbed(topo::Topology topology, const TestbedOptions& options,
       options_(options),
       rng_(options.seed),
       network_(scheduler_, rng_) {
-  prefix_index_ = std::make_shared<bgp::PrefixIndex>();
-  for (const Ipv4Prefix& p : prefixes) prefix_index_->add(p);
+  if (options_.use_prefix_index) {
+    prefix_index_ = std::make_shared<bgp::PrefixIndex>();
+    for (const Ipv4Prefix& p : prefixes) prefix_index_->add(p);
+  }
 
   switch (options_.mode) {
     case ibgp::IbgpMode::kFullMesh:
@@ -45,7 +47,7 @@ ibgp::Speaker& Testbed::make_speaker(ibgp::SpeakerConfig cfg) {
   cfg.proc_per_update = options_.proc_per_update;
   cfg.abrr_force_client_reduction = options_.abrr_force_client_reduction;
   auto speaker = std::make_unique<ibgp::Speaker>(cfg, scheduler_, network_);
-  speaker->set_prefix_index(prefix_index_);
+  if (prefix_index_) speaker->set_prefix_index(prefix_index_);
   auto& ref = *speaker;
   speakers_.emplace(cfg.id, std::move(speaker));
   all_ids_.push_back(cfg.id);

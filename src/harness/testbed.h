@@ -42,6 +42,10 @@ struct TestbedOptions {
   sim::Time latency_per_metric = sim::usec(100);
   sim::Time latency_jitter = sim::msec(10);
   std::uint64_t seed = 7;
+  /// Dense prefix-indexed RIB/speaker storage (the fast path). Disable
+  /// to exercise the map-fallback storage (equivalence tests, legacy
+  /// benchmarks); results must be identical either way.
+  bool use_prefix_index = true;
 };
 
 /// Aggregate over a set of speakers (Figure 6's min/avg/max bars).

@@ -121,12 +121,40 @@ void Speaker::drain_input() {
       std::max(busy_until_, scheduler_->now()) +
       static_cast<sim::Time>(batch.size()) * config_.proc_per_update;
 
-  std::vector<Ipv4Prefix> dirty;
-  for (const Incoming& incoming : batch) apply(incoming, dirty);
+  // Coalesce the batch's dirty prefixes: indexed prefixes dedup in O(1)
+  // via per-PrefixId epoch stamps, so the sort below only sees uniques
+  // (plus any unindexed stragglers). The sorted order is what keeps
+  // downstream message generation storage-independent.
+  ++dirty_epoch_;
+  scratch_dirty_.clear();
+  for (const Incoming& incoming : batch) apply(incoming, scratch_dirty_);
 
-  std::sort(dirty.begin(), dirty.end());
-  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
-  for (const Ipv4Prefix& prefix : dirty) run_pipeline(prefix);
+  std::sort(scratch_dirty_.begin(), scratch_dirty_.end());
+  scratch_dirty_.erase(
+      std::unique(scratch_dirty_.begin(), scratch_dirty_.end()),
+      scratch_dirty_.end());
+  for (const Ipv4Prefix& prefix : scratch_dirty_) run_pipeline(prefix);
+}
+
+void Speaker::mark_dirty(const Ipv4Prefix& prefix,
+                         std::vector<Ipv4Prefix>& dirty) {
+  if (prefix_index_) {
+    if (const auto id = prefix_index_->id_of(prefix)) {
+      if (dirty_mark_.size() <= *id) {
+        dirty_mark_.resize(prefix_index_->size(), 0);
+      }
+      if (dirty_mark_[*id] == dirty_epoch_) return;
+      dirty_mark_[*id] = dirty_epoch_;
+    }
+  }
+  dirty.push_back(prefix);
+}
+
+void Speaker::set_prefix_index(std::shared_ptr<const bgp::PrefixIndex> index) {
+  prefix_index_ = std::move(index);
+  adj_rib_in_.set_prefix_index(prefix_index_);
+  loc_rib_.set_prefix_index(prefix_index_);
+  for (auto& [key, g] : groups_) g.rib.set_prefix_index(prefix_index_);
 }
 
 bool Speaker::accept_route(const Route& route, const PeerState*) const {
@@ -152,7 +180,7 @@ void Speaker::apply(const Incoming& incoming, std::vector<Ipv4Prefix>& dirty) {
     if (!incoming.withdraw_ebgp) {
       for (const Route& r : incoming.msg.announce) adj_rib_in_.announce(r);
     }
-    dirty.push_back(prefix);
+    mark_dirty(prefix, dirty);
     return;
   }
 
@@ -208,7 +236,7 @@ void Speaker::apply(const Incoming& incoming, std::vector<Ipv4Prefix>& dirty) {
         for (const Route& r : received) adj_rib_in_.announce(r);
       }
     }
-    dirty.push_back(prefix);
+    mark_dirty(prefix, dirty);
     return;
   }
 
@@ -237,47 +265,51 @@ void Speaker::apply(const Incoming& incoming, std::vector<Ipv4Prefix>& dirty) {
   }
   adj_rib_in_.withdraw_prefix(incoming.from, prefix);
   for (const Route& r : received) adj_rib_in_.announce(r);
-  dirty.push_back(prefix);
+  mark_dirty(prefix, dirty);
 }
 
 void Speaker::run_pipeline(const Ipv4Prefix& prefix) {
-  const std::vector<Route> candidates = adj_rib_in_.routes_for(prefix);
+  // Candidates are pointers into the Adj-RIB-In, valid across the whole
+  // pipeline (decide_local only touches the Loc-RIB; the reflectors only
+  // touch Adj-RIB-Outs).
+  adj_rib_in_.routes_for(prefix, scratch_candidates_);
 
   // Every speaker (including control-plane RRs) maintains a Loc-RIB;
   // only data-plane clients export their best into iBGP.
-  decide_local(prefix, candidates);
-  if (config_.cluster_id != 0) reflect_tbrr(prefix, candidates);
+  decide_local(prefix, scratch_candidates_);
+  if (config_.cluster_id != 0) reflect_tbrr(prefix, scratch_candidates_);
   if (!config_.managed_aps.empty() && manages_prefix(prefix)) {
-    reflect_abrr(prefix, candidates);
+    reflect_abrr(prefix, scratch_candidates_);
   }
 }
 
 void Speaker::refresh_all() {
-  std::unordered_set<Ipv4Prefix> seen;
-  adj_rib_in_.for_each([&](const Route& r) { seen.insert(r.prefix); });
-  loc_rib_.for_each([&](const Route& r) { seen.insert(r.prefix); });
+  std::vector<Ipv4Prefix> seen;
+  adj_rib_in_.for_each([&](const Route& r) { seen.push_back(r.prefix); });
+  loc_rib_.for_each([&](const Route& r) { seen.push_back(r.prefix); });
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
   for (const Ipv4Prefix& prefix : seen) run_pipeline(prefix);
 }
 
 void Speaker::decide_local(const Ipv4Prefix& prefix,
-                           const std::vector<Route>& candidates) {
-  const std::vector<Route> accepted = filter_accepted(prefix, candidates);
-  const Route best =
-      bgp::select_best(accepted, config_.id, igp_, config_.decision);
+                           std::span<const Route* const> candidates) {
+  const std::span<const Route* const> accepted =
+      filter_accepted(prefix, candidates);
+  const Route* best = bgp::select_best_from(accepted, config_.id, igp_,
+                                            config_.decision, scratch_select_);
   bool changed;
-  if (best.valid()) {
-    changed = loc_rib_.install(best);
+  if (best != nullptr) {
+    changed = loc_rib_.install(*best);
   } else {
     changed = loc_rib_.remove(prefix);
   }
   if (!changed) return;
   ++counters_.best_changes;
-  if (best_change_hook_) {
-    best_change_hook_(prefix, best.valid() ? &best : nullptr);
-  }
+  if (best_change_hook_) best_change_hook_(prefix, best);
   if (config_.data_plane) {
-    export_own_best(prefix, best.valid() ? &best : nullptr);
-    export_ebgp(prefix, best.valid() ? &best : nullptr);
+    export_own_best(prefix, best);
+    export_ebgp(prefix, best);
   }
 }
 
@@ -288,8 +320,25 @@ void Speaker::export_ebgp(const Ipv4Prefix& prefix, const Route* best) {
       out = export_to_ebgp(*best, config_.asn, state.asn, neighbor,
                            state.policy);
     }
-    const std::uint32_t h =
-        out ? bgp::route_set_hash({*out}) : 0;
+    std::uint64_t h = 0;
+    if (out) {
+      const Route* p = &*out;
+      h = bgp::route_set_hash(std::span<const Route* const>{&p, 1});
+    }
+    if (prefix_index_) {
+      const auto pid = prefix_index_->id_of(prefix);
+      if (pid) {
+        if (state.advertised_flat.size() <= *pid) {
+          state.advertised_flat.resize(prefix_index_->size(), 0);
+        }
+        std::uint64_t& last = state.advertised_flat[*pid];
+        if (h == last) continue;
+        last = h;
+        ++counters_.ebgp_updates_sent;
+        if (ebgp_send_hook_) ebgp_send_hook_(neighbor, prefix, out);
+        continue;
+      }
+    }
     auto& last = state.advertised[prefix];
     if (h == last) continue;
     if (h == 0) state.advertised.erase(prefix); else last = h;
@@ -380,31 +429,31 @@ bool Speaker::uses_abrr(const Ipv4Prefix& prefix) const {
   }
 }
 
-std::vector<Route> Speaker::filter_accepted(
-    const Ipv4Prefix& prefix, const std::vector<Route>& in) const {
+std::span<const Route* const> Speaker::filter_accepted(
+    const Ipv4Prefix& prefix, std::span<const Route* const> in) {
   if (config_.mode != IbgpMode::kDual) return in;
   const bool abrr = uses_abrr(prefix);
-  std::vector<Route> out;
-  out.reserve(in.size());
-  for (const Route& r : in) {
-    if (r.via != bgp::LearnedVia::kIbgp) {
-      out.push_back(r);
+  scratch_accepted_.clear();
+  scratch_accepted_.reserve(in.size());
+  for (const Route* r : in) {
+    if (r->via != bgp::LearnedVia::kIbgp) {
+      scratch_accepted_.push_back(r);
       continue;
     }
-    const auto it = peers_.find(r.learned_from);
+    const auto it = peers_.find(r->learned_from);
     if (it == peers_.end()) continue;
     const PeerInfo& info = it->second.info;
     const bool from_abrr_plane = !info.reflector_for.empty();
     const bool from_tbrr_plane = info.reflector_tbrr || info.rr_peer;
     if (from_abrr_plane && !abrr) continue;
     if (from_tbrr_plane && abrr) continue;
-    out.push_back(r);
+    scratch_accepted_.push_back(r);
   }
-  return out;
+  return scratch_accepted_;
 }
 
 void Speaker::reflect_tbrr(const Ipv4Prefix& prefix,
-                           const std::vector<Route>& candidates) {
+                           std::span<const Route* const> candidates) {
   // Reflection copy: append our CLUSTER_ID and pin ORIGINATOR_ID when
   // reflecting an iBGP-learned route (RFC 4456).
   const auto reflect_copy = [&](const Route& r) {
@@ -424,17 +473,17 @@ void Speaker::reflect_tbrr(const Ipv4Prefix& prefix,
   };
 
   if (!config_.multipath) {
-    const Route best =
-        bgp::select_best(candidates, config_.id, igp_, config_.decision);
+    const Route* best = bgp::select_best_from(
+        candidates, config_.id, igp_, config_.decision, scratch_select_);
     std::vector<Route> to_clients;
     std::vector<Route> to_rrs;
-    if (best.valid()) {
-      const Route reflected = reflect_copy(best);
+    if (best != nullptr) {
+      const Route reflected = reflect_copy(*best);
       to_clients.push_back(reflected);
       // RFC 4456: client routes (and our own) go to everyone; routes
       // learned from other TRRs (or from our parents in a multi-level
       // hierarchy) are reflected to clients only.
-      if (learned_from_client(best)) to_rrs.push_back(reflected);
+      if (learned_from_client(*best)) to_rrs.push_back(reflected);
     }
     set_group_routes(kGroupClients, prefix, std::move(to_clients));
     set_group_routes(kGroupRrPeers, prefix, to_rrs);
@@ -449,14 +498,14 @@ void Speaker::reflect_tbrr(const Ipv4Prefix& prefix,
   // Multi-path TBRR (Appendix A.3): maintain and advertise all best
   // AS-level routes. Client-learned survivors go to both groups; the
   // full set goes to clients.
-  std::vector<Route> all = bgp::best_as_level_routes(candidates,
-                                                     config_.decision);
+  bgp::best_as_level_into(candidates, config_.decision, scratch_bal_);
   std::vector<Route> to_clients;
   std::vector<Route> to_rrs;
-  for (const Route& r : all) {
-    const Route reflected = reflect_copy(r);
+  to_clients.reserve(scratch_bal_.size());
+  for (const Route* r : scratch_bal_) {
+    const Route reflected = reflect_copy(*r);
     to_clients.push_back(reflected);
-    if (learned_from_client(r)) to_rrs.push_back(reflected);
+    if (learned_from_client(*r)) to_rrs.push_back(reflected);
   }
   dedup_by_path_id(to_clients);
   dedup_by_path_id(to_rrs);
@@ -468,28 +517,34 @@ void Speaker::reflect_tbrr(const Ipv4Prefix& prefix,
 }
 
 void Speaker::reflect_abrr(const Ipv4Prefix& prefix,
-                           const std::vector<Route>& candidates) {
+                           std::span<const Route* const> candidates) {
   // Eligible inputs to the ARR role: client advertisements that have not
   // been reflected before (§2.3.2 single-bit loop prevention), plus our
   // own best when we are a data-plane router whose best is other-learned
   // (the internal client->ARR hand-off of Figure 2).
-  std::vector<Route> eligible;
-  for (const Route& r : candidates) {
-    if (r.via != bgp::LearnedVia::kIbgp) continue;  // own routes added below
-    if (r.attrs->has_ext_community(bgp::kAbrrReflectedCommunity)) continue;
-    const auto it = peers_.find(r.learned_from);
+  scratch_eligible_.clear();
+  for (const Route* r : candidates) {
+    if (r->via != bgp::LearnedVia::kIbgp) continue;  // own routes added below
+    if (r->attrs->has_ext_community(bgp::kAbrrReflectedCommunity)) continue;
+    const auto it = peers_.find(r->learned_from);
     if (it == peers_.end() || !it->second.info.rr_client) continue;
-    eligible.push_back(r);
+    scratch_eligible_.push_back(r);
   }
+  // Storage for the internal client->ARR hand-off copy; must outlive the
+  // best-AS-level elimination below.
+  Route own_export;
   if (config_.data_plane) {
     const Route* own = loc_rib_.best(prefix);
     if (own != nullptr && own->via != bgp::LearnedVia::kIbgp) {
-      eligible.push_back(client_export_copy(*own, config_.id));
+      own_export = client_export_copy(*own, config_.id);
+      scratch_eligible_.push_back(&own_export);
     }
   }
 
-  std::vector<Route> set =
-      bgp::best_as_level_routes(eligible, config_.decision);
+  bgp::best_as_level_into(scratch_eligible_, config_.decision, scratch_bal_);
+  std::vector<Route> set;
+  set.reserve(scratch_bal_.size());
+  for (const Route* r : scratch_bal_) set.push_back(*r);
   for (Route& r : set) {
     if (!r.attrs->has_ext_community(bgp::kAbrrReflectedCommunity)) {
       r.attrs = bgp::with_attrs(r.attrs, [&](bgp::PathAttrs& a) {
@@ -563,34 +618,40 @@ void Speaker::transmit(PeerState& ps, int key, const Ipv4Prefix& prefix) {
   const std::vector<Route>* current = g.rib.get(prefix);
 
   // "Not returned to sender": drop routes this peer itself advertised.
-  std::vector<Route> target;
+  // Filter and hash over pointers first; Route copies are made only when
+  // the peer actually needs an update.
+  scratch_target_.clear();
   if (current != nullptr) {
-    target.reserve(current->size());
+    scratch_target_.reserve(current->size());
     for (const Route& r : *current) {
       if (r.learned_from == ps.info.id) continue;
       if (r.attrs->originator_id && *r.attrs->originator_id == ps.info.id) {
         continue;
       }
-      target.push_back(r);
+      scratch_target_.push_back(&r);
     }
   }
 
-  const std::uint32_t h = target.empty() ? 0 : bgp::route_set_hash(target);
-  std::uint32_t& last = sent_hash(ps, key, prefix);
+  const std::uint64_t h = scratch_target_.empty()
+                              ? 0
+                              : bgp::route_set_hash(std::span<
+                                    const Route* const>{scratch_target_});
+  std::uint64_t& last = sent_hash(ps, key, prefix);
   if (h == last) return;  // peer already has exactly this
   last = h;
 
   bgp::UpdateMessage msg;
   msg.prefix = prefix;
   msg.full_set = true;
-  msg.announce = std::move(target);
+  msg.announce.reserve(scratch_target_.size());
+  for (const Route* r : scratch_target_) msg.announce.push_back(*r);
   ++counters_.updates_transmitted;
   counters_.routes_transmitted += msg.announce.size();
   counters_.bytes_transmitted += msg.wire_size();
   network_->send(config_.id, ps.info.id, std::move(msg));
 }
 
-std::uint32_t& Speaker::sent_hash(PeerState& ps, int key,
+std::uint64_t& Speaker::sent_hash(PeerState& ps, int key,
                                   const Ipv4Prefix& prefix) {
   if (prefix_index_) {
     const auto pid = prefix_index_->id_of(prefix);
@@ -668,6 +729,7 @@ Speaker::OutGroup& Speaker::group(int key) {
   const auto [it, inserted] = groups_.emplace(key, OutGroup{});
   if (inserted) {
     group_slot_.emplace(key, static_cast<std::uint32_t>(group_slot_.size()));
+    if (prefix_index_) it->second.rib.set_prefix_index(prefix_index_);
   }
   return it->second;
 }

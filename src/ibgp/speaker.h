@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -151,10 +152,11 @@ class Speaker {
   using ImportPolicy = std::function<std::optional<Route>(const Route&)>;
   void set_import_policy(ImportPolicy policy) { import_ = std::move(policy); }
 
-  /// Shared dense prefix numbering enabling flat per-peer state.
-  void set_prefix_index(std::shared_ptr<const bgp::PrefixIndex> index) {
-    prefix_index_ = std::move(index);
-  }
+  /// Shared dense prefix numbering: switches the RIBs, the per-peer
+  /// sent-hash state, and the dirty-prefix coalescing to flat storage
+  /// indexed by PrefixId. Call right after construction (before routes
+  /// arrive); map fallbacks cover prefixes outside the index.
+  void set_prefix_index(std::shared_ptr<const bgp::PrefixIndex> index);
 
   /// §2.4 transition switch (kDual mode): returns true when the best-path
   /// decision for this prefix should use routes learned from ABRR (and
@@ -256,8 +258,8 @@ class Speaker {
     std::unordered_set<std::uint64_t> pending_keys;
     // Last transmitted content hash per (group, prefix); 0 = nothing.
     // Flat when a PrefixIndex is available, map otherwise.
-    std::unordered_map<std::uint64_t, std::uint32_t> sent_hash_map;
-    std::vector<std::uint32_t> sent_hash_flat;  // indexed by group slot
+    std::unordered_map<std::uint64_t, std::uint64_t> sent_hash_map;
+    std::vector<std::uint64_t> sent_hash_flat;  // indexed by group slot
   };
 
   struct Incoming {
@@ -273,16 +275,22 @@ class Speaker {
   void drain_input();
   /// Applies one message to the Adj-RIB-In; appends dirty prefixes.
   void apply(const Incoming& incoming, std::vector<Ipv4Prefix>& dirty);
+  /// Appends `prefix` to `dirty` unless already marked this drain epoch
+  /// (dense-index dedup; unindexed prefixes are deduped by sort later).
+  void mark_dirty(const Ipv4Prefix& prefix, std::vector<Ipv4Prefix>& dirty);
   bool accept_route(const Route& route, const PeerState* peer) const;
 
   // -- decision + advertisement path --
+  // The pipeline works over scratch buffers of `const Route*` pointing
+  // into the Adj-RIB-In (and, for the ARR hand-off, one local copy);
+  // routes are only materialized when an Adj-RIB-Out actually changes.
   void run_pipeline(const Ipv4Prefix& prefix);
   void reflect_tbrr(const Ipv4Prefix& prefix,
-                    const std::vector<Route>& candidates);
+                    std::span<const Route* const> candidates);
   void reflect_abrr(const Ipv4Prefix& prefix,
-                    const std::vector<Route>& candidates);
+                    std::span<const Route* const> candidates);
   void decide_local(const Ipv4Prefix& prefix,
-                    const std::vector<Route>& candidates);
+                    std::span<const Route* const> candidates);
   void export_own_best(const Ipv4Prefix& prefix, const Route* best);
   void export_ebgp(const Ipv4Prefix& prefix, const Route* best);
 
@@ -295,15 +303,17 @@ class Speaker {
   void flush_peer(RouterId peer);
   void transmit(PeerState& peer, int group, const Ipv4Prefix& prefix);
 
-  std::uint32_t& sent_hash(PeerState& peer, int group,
+  std::uint64_t& sent_hash(PeerState& peer, int group,
                            const Ipv4Prefix& prefix);
 
   OutGroup& group(int key);
   /// True when decisions for this prefix use the ABRR plane.
   bool uses_abrr(const Ipv4Prefix& prefix) const;
   /// Drops candidates from the plane the acceptance switch disables.
-  std::vector<Route> filter_accepted(const Ipv4Prefix& prefix,
-                                     const std::vector<Route>& in) const;
+  /// Returns `in` untouched outside kDual; otherwise filters into
+  /// scratch_accepted_ and returns a span over it.
+  std::span<const Route* const> filter_accepted(
+      const Ipv4Prefix& prefix, std::span<const Route* const> in);
   std::vector<ApId> aps_of(const Ipv4Prefix& prefix) const;
   bool manages_ap(ApId ap) const;
   bool manages_prefix(const Ipv4Prefix& prefix) const;
@@ -321,7 +331,9 @@ class Speaker {
     Asn asn = 0;
     EbgpExportPolicy policy;
     // Advertised-content hash per prefix (0 = nothing advertised).
-    std::unordered_map<Ipv4Prefix, std::uint32_t> advertised;
+    // Flat when a PrefixIndex is available, map otherwise.
+    std::unordered_map<Ipv4Prefix, std::uint64_t> advertised;
+    std::vector<std::uint64_t> advertised_flat;  // indexed by PrefixId
   };
   std::unordered_map<RouterId, EbgpNeighborState> ebgp_neighbors_;
   EbgpSendHook ebgp_send_hook_;
@@ -337,6 +349,20 @@ class Speaker {
   std::deque<Incoming> input_queue_;
   bool drain_scheduled_ = false;
   sim::Time busy_until_ = 0;
+
+  // Dirty-prefix coalescing for drain_input: per-PrefixId epoch stamps
+  // so a drain batch dedups indexed prefixes in O(1) per touch.
+  std::vector<std::uint64_t> dirty_mark_;
+  std::uint64_t dirty_epoch_ = 0;
+
+  // Reusable pipeline scratch (valid only within one run_pipeline call).
+  std::vector<const Route*> scratch_candidates_;
+  std::vector<const Route*> scratch_accepted_;
+  std::vector<const Route*> scratch_eligible_;
+  std::vector<const Route*> scratch_select_;
+  std::vector<const Route*> scratch_bal_;
+  std::vector<const Route*> scratch_target_;
+  std::vector<Ipv4Prefix> scratch_dirty_;
 
   SpeakerCounters counters_;
 };

@@ -10,6 +10,7 @@ EventId Scheduler::schedule_at(Time at, std::function<void()> fn) {
   if (at < now_) at = now_;
   const EventId id = next_id_++;
   queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
   return id;
 }
 
@@ -18,7 +19,12 @@ EventId Scheduler::schedule_after(Time delay, std::function<void()> fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-void Scheduler::cancel(EventId id) { cancelled_.insert(id); }
+void Scheduler::cancel(EventId id) {
+  // Only a live pending event grows the tombstone set; cancelling a
+  // fired, unknown or already-cancelled id must not (such inserts would
+  // accumulate forever and break has_pending()).
+  if (pending_.erase(id) != 0) cancelled_.insert(id);
+}
 
 void Scheduler::skip_cancelled() {
   while (!queue_.empty() && cancelled_.count(queue_.top().id) != 0) {
@@ -27,17 +33,13 @@ void Scheduler::skip_cancelled() {
   }
 }
 
-bool Scheduler::has_pending() const {
-  // Conservative: everything in the queue that is not cancelled.
-  return queue_.size() > cancelled_.size();
-}
-
 bool Scheduler::step() {
   skip_cancelled();
   if (queue_.empty()) return false;
   // Move the entry out before popping so the callback can schedule/cancel.
   Entry entry = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
+  pending_.erase(entry.id);
   now_ = entry.at;
   ++executed_;
   entry.fn();

@@ -38,11 +38,13 @@ class Scheduler {
   EventId schedule_after(Time delay, std::function<void()> fn);
 
   /// Cancels a pending event. Cancelling an already-fired or unknown
-  /// event is a harmless no-op.
+  /// event is a harmless no-op (and, in particular, does not leak
+  /// bookkeeping: only ids actually pending are remembered as
+  /// tombstones until their queue entry surfaces).
   void cancel(EventId id);
 
   /// True if any non-cancelled event is pending.
-  bool has_pending() const;
+  bool has_pending() const { return !pending_.empty(); }
 
   /// Runs a single event. Returns false if the queue was empty.
   bool step();
@@ -80,6 +82,10 @@ class Scheduler {
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Invariant: every queued entry's id is in exactly one of pending_
+  // (live) or cancelled_ (tombstoned, awaiting lazy removal), so both
+  // sets are bounded by the queue size.
+  std::unordered_set<EventId> pending_;
   std::unordered_set<EventId> cancelled_;
 };
 

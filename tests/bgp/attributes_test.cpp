@@ -91,7 +91,8 @@ TEST(Route, SetHashStableAndSensitive) {
   EXPECT_NE(h1, 0u);
   EXPECT_NE(route_set_hash({a}), route_set_hash({a, b}));
   EXPECT_NE(route_set_hash({a, b}), route_set_hash({b, a}));  // order matters
-  EXPECT_NE(route_set_hash({}), 0u);  // empty set hashes to a sentinel != 0
+  // empty set hashes to a sentinel != 0
+  EXPECT_NE(route_set_hash(std::vector<Route>{}), 0u);
 }
 
 }  // namespace

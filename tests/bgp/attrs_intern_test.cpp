@@ -1,0 +1,142 @@
+// AttrsInterner: canonicalization, hash stability, and the no-sharing
+// guarantees that the rest of the hot path relies on.
+#include "bgp/attrs_intern.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/attributes.h"
+#include "bgp/route.h"
+
+namespace abrr::bgp {
+namespace {
+
+PathAttrs sample_attrs() {
+  PathAttrs a;
+  a.origin = Origin::kIgp;
+  a.next_hop = 42;
+  a.local_pref = 200;
+  a.med = 15;
+  a.as_path = AsPath{{7018, 64512}};
+  a.cluster_list = {9, 4};
+  a.originator_id = 7;
+  a.ext_communities = {kAbrrReflectedCommunity};
+  return a;
+}
+
+TEST(AttrsContentHash, StableAndNeverZero) {
+  const PathAttrs a = sample_attrs();
+  const std::uint64_t h1 = attrs_content_hash(a);
+  const std::uint64_t h2 = attrs_content_hash(a);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, 0u);
+  EXPECT_NE(attrs_content_hash(PathAttrs{}), 0u);
+}
+
+TEST(AttrsContentHash, SensitiveToEverySemanticField) {
+  const PathAttrs base = sample_attrs();
+  const std::uint64_t h = attrs_content_hash(base);
+
+  const auto differs = [&](auto mutate) {
+    PathAttrs m = sample_attrs();
+    mutate(m);
+    return attrs_content_hash(m) != h;
+  };
+  EXPECT_TRUE(differs([](PathAttrs& a) { a.origin = Origin::kEgp; }));
+  EXPECT_TRUE(differs([](PathAttrs& a) { a.next_hop = 43; }));
+  EXPECT_TRUE(differs([](PathAttrs& a) { a.local_pref = 201; }));
+  EXPECT_TRUE(differs([](PathAttrs& a) { a.med = std::nullopt; }));
+  EXPECT_TRUE(differs([](PathAttrs& a) { a.med = 0; }));  // 0 != absent
+  EXPECT_TRUE(differs([](PathAttrs& a) { a.as_path = AsPath{{7018}}; }));
+  EXPECT_TRUE(differs([](PathAttrs& a) { a.cluster_list = {4, 9}; }));
+  EXPECT_TRUE(differs([](PathAttrs& a) { a.originator_id = std::nullopt; }));
+  EXPECT_TRUE(differs([](PathAttrs& a) { a.ext_communities.clear(); }));
+}
+
+TEST(AttrsInterner, CanonicalizesEqualBlocks) {
+  const AttrsPtr a = make_attrs(sample_attrs());
+  const AttrsPtr b = make_attrs(sample_attrs());
+  // Equal content -> the very same canonical block.
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(a->content_hash, 0u);
+
+  PathAttrs other = sample_attrs();
+  other.local_pref = 300;
+  const AttrsPtr c = make_attrs(std::move(other));
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_FALSE(*a == *c);
+}
+
+TEST(AttrsInterner, MutationThroughWithAttrsNeverAliases) {
+  const AttrsPtr a = make_attrs(sample_attrs());
+  const AttrsPtr b = with_attrs(a, [](PathAttrs& m) { m.local_pref = 999; });
+  // The clone is a distinct block with a recomputed hash; the original
+  // is untouched (no false sharing after mutation).
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->local_pref, 200u);
+  EXPECT_EQ(b->local_pref, 999u);
+  EXPECT_NE(a->content_hash, b->content_hash);
+  EXPECT_EQ(a->content_hash, attrs_content_hash(*a));
+  EXPECT_EQ(b->content_hash, attrs_content_hash(*b));
+
+  // Mutating back to the original content re-canonicalizes to the
+  // original block.
+  const AttrsPtr c = with_attrs(b, [](PathAttrs& m) { m.local_pref = 200; });
+  EXPECT_EQ(c.get(), a.get());
+}
+
+TEST(AttrsInterner, WeakTableDoesNotExtendLifetimes) {
+  AttrsInterner& interner = AttrsInterner::global();
+  interner.collect();
+  const std::size_t before = interner.live_blocks();
+  {
+    PathAttrs unique = sample_attrs();
+    unique.local_pref = 123456;  // content used nowhere else
+    const AttrsPtr a = make_attrs(std::move(unique));
+    EXPECT_EQ(interner.live_blocks(), before + 1);
+  }
+  // The only strong reference died with `a`; a sweep drops the entry.
+  interner.collect();
+  EXPECT_EQ(interner.live_blocks(), before);
+}
+
+TEST(AttrsInterner, HitAndMissAccounting) {
+  AttrsInterner& interner = AttrsInterner::global();
+  PathAttrs unique = sample_attrs();
+  unique.local_pref = 654321;
+  interner.reset_stats();
+  const AttrsPtr a = make_attrs(PathAttrs{unique});
+  const AttrsPtr b = make_attrs(PathAttrs{unique});
+  EXPECT_EQ(interner.misses(), 1u);
+  EXPECT_EQ(interner.hits(), 1u);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(AttrsInterner, DisabledProducesFreshBlocksWithHashes) {
+  ScopedInterningDisabled guard;
+  const AttrsPtr a = make_attrs(sample_attrs());
+  const AttrsPtr b = make_attrs(sample_attrs());
+  EXPECT_NE(a.get(), b.get());  // no canonicalization
+  EXPECT_EQ(*a, *b);            // ...but identical content
+  // Hashes are still computed so same_announcement stays O(1).
+  EXPECT_EQ(a->content_hash, b->content_hash);
+  EXPECT_NE(a->content_hash, 0u);
+}
+
+TEST(SameAnnouncement, HashFastPathAgreesWithDeepCompare) {
+  const Ipv4Prefix pfx = Ipv4Prefix::parse("10.0.0.0/8");
+  const Route a = RouteBuilder{pfx}.path_id(1).as_path({1, 2}).build();
+  const Route b = RouteBuilder{pfx}.path_id(1).as_path({1, 2}).build();
+  const Route c = RouteBuilder{pfx}.path_id(1).as_path({1, 3}).build();
+  EXPECT_TRUE(a.same_announcement(b));
+  EXPECT_FALSE(a.same_announcement(c));
+
+  // Same content through the non-interned path (distinct blocks, equal
+  // hashes) must still compare equal.
+  ScopedInterningDisabled guard;
+  const Route d = RouteBuilder{pfx}.path_id(1).as_path({1, 2}).build();
+  EXPECT_TRUE(a.same_announcement(d));
+}
+
+}  // namespace
+}  // namespace abrr::bgp

@@ -1,0 +1,163 @@
+// Storage-equivalence: the dense prefix-indexed, attribute-interned fast
+// path must be observably identical to the map-fallback path — same
+// counters, same RIB sizes, same Loc-RIB contents, same event count —
+// across every iBGP architecture. This is the guard that keeps the
+// perf work from silently changing the paper's metrics.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bgp/attrs_intern.h"
+#include "harness/testbed.h"
+#include "trace/regenerator.h"
+#include "trace/update_trace.h"
+#include "trace/workload.h"
+
+namespace abrr::harness {
+namespace {
+
+using bgp::Ipv4Prefix;
+using bgp::RouterId;
+
+struct Scenario {
+  topo::Topology topology;
+  trace::Workload workload;
+  trace::UpdateTrace trace;
+  std::vector<Ipv4Prefix> prefixes;
+};
+
+const Scenario& scenario() {
+  static const Scenario* s = [] {
+    sim::Rng rng{11};
+    topo::TopologyParams tp;
+    tp.pops = 3;
+    tp.clients_per_pop = 3;
+    tp.peer_ases = 5;
+    tp.peering_points_per_as = 3;
+    auto topology = topo::make_tier1(tp, rng);
+
+    trace::WorkloadParams wp;
+    wp.prefixes = 120;
+    auto workload = trace::Workload::generate(wp, topology, rng);
+
+    trace::TraceParams trp;
+    trp.duration = sim::sec(30);
+    trp.events_per_second = 4.0;
+    auto trace = trace::UpdateTrace::generate(trp, workload, rng);
+
+    auto* out = new Scenario{std::move(topology), std::move(workload),
+                             std::move(trace), {}};
+    out->prefixes = out->workload.prefixes();
+    return out;
+  }();
+  return *s;
+}
+
+/// One speaker's observable state, rendered to a comparable string.
+std::string fingerprint(const Testbed& bed, const ibgp::Speaker& sp) {
+  (void)bed;
+  std::ostringstream os;
+  const auto& c = sp.counters();
+  os << "recv=" << c.updates_received << '/' << c.routes_received
+     << " gen=" << c.updates_generated << '/' << c.generated_to_clients << '/'
+     << c.generated_to_rrs << " tx=" << c.updates_transmitted << '/'
+     << c.routes_transmitted << '/' << c.bytes_transmitted
+     << " loops=" << c.loops_suppressed << " misdir=" << c.misdirected
+     << " ebgp=" << c.ebgp_updates_sent << " best=" << c.best_changes
+     << " ribin=" << sp.rib_in_size() << " ribout=" << sp.rib_out_size()
+     << " locrib=" << sp.loc_rib().size() << '\n';
+
+  // Loc-RIB contents, order-normalized.
+  std::vector<std::string> rows;
+  sp.loc_rib().for_each([&](const bgp::Route& r) {
+    std::ostringstream row;
+    row << r.prefix.to_string() << " from=" << r.learned_from
+        << " pid=" << r.path_id << " via=" << static_cast<int>(r.via)
+        << " nh=" << r.attrs->next_hop << " lp=" << r.attrs->local_pref
+        << " med=" << (r.attrs->med ? static_cast<std::int64_t>(*r.attrs->med)
+                                    : -1)
+        << " aspath=";
+    for (const auto asn : r.attrs->as_path.asns()) row << asn << ',';
+    row << " orig="
+        << (r.attrs->originator_id
+                ? static_cast<std::int64_t>(*r.attrs->originator_id)
+                : -1)
+        << " cl=";
+    for (const auto c2 : r.attrs->cluster_list) row << c2 << ',';
+    rows.push_back(row.str());
+  });
+  std::sort(rows.begin(), rows.end());
+  for (const auto& row : rows) os << row << '\n';
+  return os.str();
+}
+
+/// Runs the scenario under `mode`, returns (per-speaker fingerprints,
+/// executed event count).
+std::pair<std::vector<std::string>, std::uint64_t> run_mode(
+    ibgp::IbgpMode mode, bool fast_path) {
+  const Scenario& s = scenario();
+  TestbedOptions o;
+  o.mode = mode;
+  o.num_aps = 4;
+  o.mrai = sim::sec(2);
+  o.seed = 21;
+  o.use_prefix_index = fast_path;
+
+  std::unique_ptr<bgp::ScopedInterningDisabled> no_intern;
+  if (!fast_path) no_intern = std::make_unique<bgp::ScopedInterningDisabled>();
+
+  Testbed bed{s.topology, o, s.prefixes};
+  trace::RouteRegenerator regen{bed.scheduler(), s.workload, bed.inject_fn()};
+  regen.load_snapshot(0, sim::sec(10));
+  EXPECT_TRUE(bed.run_to_quiescence());
+  regen.play(s.trace, bed.scheduler().now() + sim::sec(1));
+  EXPECT_TRUE(bed.run_to_quiescence());
+
+  std::vector<std::string> prints;
+  std::vector<RouterId> ids = bed.all_ids();
+  std::sort(ids.begin(), ids.end());
+  for (const RouterId id : ids) {
+    prints.push_back(fingerprint(bed, bed.speaker(id)));
+  }
+  return {std::move(prints), bed.scheduler().events_executed()};
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<ibgp::IbgpMode> {};
+
+TEST_P(EquivalenceTest, DenseIndexedInternedMatchesMapFallback) {
+  const auto [fast, fast_events] = run_mode(GetParam(), /*fast_path=*/true);
+  const auto [slow, slow_events] = run_mode(GetParam(), /*fast_path=*/false);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i], slow[i]) << "speaker #" << i << " diverged";
+  }
+  // Bit-identity extends to the event schedule itself.
+  EXPECT_EQ(fast_events, slow_events);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, EquivalenceTest,
+                         ::testing::Values(ibgp::IbgpMode::kFullMesh,
+                                           ibgp::IbgpMode::kTbrr,
+                                           ibgp::IbgpMode::kAbrr,
+                                           ibgp::IbgpMode::kDual),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ibgp::IbgpMode::kFullMesh:
+                               return "FullMesh";
+                             case ibgp::IbgpMode::kTbrr:
+                               return "Tbrr";
+                             case ibgp::IbgpMode::kAbrr:
+                               return "Abrr";
+                             case ibgp::IbgpMode::kDual:
+                               return "Dual";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace abrr::harness

@@ -108,6 +108,41 @@ TEST(Scheduler, MaxEventsBoundsExecution) {
   EXPECT_EQ(s.events_executed(), 1000u);
 }
 
+TEST(Scheduler, CancellingFiredOrUnknownIdsDoesNotCorruptHasPending) {
+  Scheduler s;
+  // Regression: cancel() used to record every id it was handed, even
+  // ids that already fired or never existed. The stale tombstones grew
+  // without bound and, because has_pending() compared queue size
+  // against the tombstone count, enough of them made a scheduler with
+  // live events claim it had none.
+  const EventId fired = s.schedule_after(1, [] {});
+  s.run_to_quiescence();
+  for (int i = 0; i < 100; ++i) {
+    s.cancel(fired);            // already fired
+    s.cancel(EventId{9'000'000} + static_cast<EventId>(i));  // never existed
+  }
+  EXPECT_FALSE(s.has_pending());
+
+  bool ran = false;
+  s.schedule_after(1, [&] { ran = true; });
+  EXPECT_TRUE(s.has_pending());  // the bogus cancels must not mask it
+  s.run_to_quiescence();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(s.has_pending());
+}
+
+TEST(Scheduler, DoubleCancelCountsOnce) {
+  Scheduler s;
+  const EventId a = s.schedule_after(1, [] {});
+  bool ran = false;
+  s.schedule_after(2, [&] { ran = true; });
+  s.cancel(a);
+  s.cancel(a);  // second cancel of the same id must be a no-op
+  EXPECT_TRUE(s.has_pending());
+  s.run_to_quiescence();
+  EXPECT_TRUE(ran);
+}
+
 TEST(Scheduler, RejectsEmptyCallback) {
   Scheduler s;
   EXPECT_THROW(s.schedule_at(1, {}), std::invalid_argument);
