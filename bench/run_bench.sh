@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Runs the micro-benchmarks and writes BENCH_micro.json at the repo root.
+# Runs the micro-benchmarks (BENCH_micro.json) and the fault-resilience
+# experiment (BENCH_fault.json), writing both at the repo root.
 #
 # Usage: bench/run_bench.sh [build-dir] [extra google-benchmark flags...]
 # The build dir defaults to ./build; build it first with:
 #   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+# Skip the (slower) fault experiment with ABRR_SKIP_FAULT_BENCH=1.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,3 +24,14 @@ out="$repo_root/BENCH_micro.json"
   --json_out="$out" \
   "$@"
 echo "wrote $out"
+
+if [[ "${ABRR_SKIP_FAULT_BENCH:-0}" != "1" ]]; then
+  fault_bin="$build_dir/bench/fault_resilience"
+  if [[ ! -x "$fault_bin" ]]; then
+    echo "error: $fault_bin not found or not executable; build first" >&2
+    exit 1
+  fi
+  "$fault_bin" \
+    --prefixes="${ABRR_FAULT_PREFIXES:-2000}" \
+    --json_out="$repo_root/BENCH_fault.json"
+fi

@@ -172,6 +172,13 @@ void AdjRibIn::for_each(const std::function<void(const Route&)>& fn) const {
   }
 }
 
+void AdjRibIn::clear() {
+  for (PathList& paths : flat_) paths.clear();
+  table_.clear();
+  per_peer_.clear();
+  size_ = 0;
+}
+
 // --- LocRib -----------------------------------------------------------
 
 void LocRib::set_prefix_index(std::shared_ptr<const PrefixIndex> index) {
@@ -251,6 +258,12 @@ void LocRib::for_each(const std::function<void(const Route&)>& fn) const {
     if (route.valid()) fn(route);
   }
   for (const auto& [prefix, route] : table_) fn(route);
+}
+
+void LocRib::clear() {
+  for (Route& route : flat_) route = Route{};
+  flat_count_ = 0;
+  table_.clear();
 }
 
 // --- AdjRibOut --------------------------------------------------------
@@ -357,6 +370,12 @@ const std::vector<Route>* AdjRibOut::get(const Ipv4Prefix& prefix) const {
   }
   const auto it = table_.find(prefix);
   return it == table_.end() ? nullptr : &it->second;
+}
+
+void AdjRibOut::clear() {
+  for (std::vector<Route>& routes : flat_) routes.clear();
+  table_.clear();
+  size_ = 0;
 }
 
 void AdjRibOut::for_each(

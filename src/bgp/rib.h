@@ -69,6 +69,9 @@ class AdjRibIn {
   /// Visits every stored route.
   void for_each(const std::function<void(const Route&)>& fn) const;
 
+  /// Drops every entry (router crash with state loss). Keeps the index.
+  void clear();
+
  private:
   using Key = std::pair<RouterId, PathId>;
   /// Sorted-by-key flat path list: node-free storage whose iteration
@@ -105,6 +108,9 @@ class LocRib {
 
   void for_each(const std::function<void(const Route&)>& fn) const;
 
+  /// Drops every entry (router crash with state loss). Keeps the index.
+  void clear();
+
  private:
   std::shared_ptr<const PrefixIndex> index_;
   std::vector<Route> flat_;  // slot per PrefixId; !valid() = empty
@@ -136,6 +142,9 @@ class AdjRibOut {
   void for_each(
       const std::function<void(const Ipv4Prefix&, const std::vector<Route>&)>&
           fn) const;
+
+  /// Drops every entry (router crash with state loss). Keeps the index.
+  void clear();
 
  private:
   std::shared_ptr<const PrefixIndex> index_;

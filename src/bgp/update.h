@@ -26,6 +26,9 @@ struct UpdateMessage {
   /// ABRR replacement semantics: `announce` is the complete new set; an
   /// empty `announce` with full_set means the prefix is gone entirely.
   bool full_set = false;
+  /// BGP KEEPALIVE riding on the same transport: carries no routes,
+  /// only refreshes the receiver's hold timer (session liveness).
+  bool keepalive = false;
 
   bool is_withdraw_only() const {
     return announce.empty() && (full_set || !withdraw.empty());

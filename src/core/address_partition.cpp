@@ -102,6 +102,70 @@ std::size_t PartitionScheme::prefixes_in(
   return count;
 }
 
+void ArrDirectory::assign(ibgp::ApId ap, bgp::RouterId arr) {
+  const auto idx = static_cast<std::size_t>(ap);
+  if (idx >= aps_.size()) aps_.resize(idx + 1);
+  auto& arrs = aps_[idx].arrs;
+  const auto it = std::lower_bound(arrs.begin(), arrs.end(), arr);
+  if (it != arrs.end() && *it == arr) return;
+  arrs.insert(it, arr);
+}
+
+void ArrDirectory::set_alive(bgp::RouterId arr, bool alive) {
+  const auto it = std::find(dead_.begin(), dead_.end(), arr);
+  const bool was_alive = it == dead_.end();
+  if (alive == was_alive) return;
+
+  // Record primaries before the transition so we can count failovers.
+  std::vector<bgp::RouterId> before(aps_.size());
+  for (std::size_t ap = 0; ap < aps_.size(); ++ap) {
+    before[ap] = primary(static_cast<ibgp::ApId>(ap));
+  }
+
+  if (alive) {
+    dead_.erase(it);
+  } else {
+    dead_.push_back(arr);
+  }
+
+  for (std::size_t ap = 0; ap < aps_.size(); ++ap) {
+    const bgp::RouterId now = primary(static_cast<ibgp::ApId>(ap));
+    // Losing the last ARR of an AP is an outage, not a failover; a
+    // failover is clients re-homing onto a different live ARR.
+    if (now != before[ap] && now != bgp::kNoRouter &&
+        before[ap] != bgp::kNoRouter) {
+      ++failovers_;
+    }
+  }
+}
+
+bool ArrDirectory::alive(bgp::RouterId arr) const {
+  return std::find(dead_.begin(), dead_.end(), arr) == dead_.end();
+}
+
+const std::vector<bgp::RouterId>& ArrDirectory::arrs_of(
+    ibgp::ApId ap) const {
+  static const std::vector<bgp::RouterId> kEmpty;
+  const auto idx = static_cast<std::size_t>(ap);
+  return idx < aps_.size() ? aps_[idx].arrs : kEmpty;
+}
+
+bgp::RouterId ArrDirectory::primary(ibgp::ApId ap) const {
+  for (const bgp::RouterId arr : arrs_of(ap)) {
+    if (alive(arr)) return arr;  // arrs are sorted: first live == lowest
+  }
+  return bgp::kNoRouter;
+}
+
+bool ArrDirectory::fully_redundant() const {
+  for (std::size_t ap = 0; ap < aps_.size(); ++ap) {
+    if (primary(static_cast<ibgp::ApId>(ap)) == bgp::kNoRouter) {
+      return false;
+    }
+  }
+  return true;
+}
+
 ibgp::ApOfFn PartitionScheme::mapper() const {
   const auto ranges = ranges_;
   return [ranges](const Ipv4Prefix& prefix) {

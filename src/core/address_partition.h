@@ -56,4 +56,45 @@ class PartitionScheme {
   std::shared_ptr<const std::vector<AddressRange>> ranges_;
 };
 
+/// Tracks the redundant ARRs serving each AP and their liveness — the
+/// paper's reliability design (§2.3.1): every client peers with every
+/// ARR of an AP, so one ARR per AP staying alive preserves full-mesh-
+/// equivalent routing. Election is deterministic: the primary of an AP
+/// is its lowest-id live ARR, so every observer (and every replay of
+/// the same chaos schedule) agrees on it without any protocol exchange.
+class ArrDirectory {
+ public:
+  /// Registers `arr` as serving `ap`. Idempotent per (ap, arr).
+  void assign(ibgp::ApId ap, bgp::RouterId arr);
+
+  /// Marks an ARR dead/alive (router crash / restart). Unknown routers
+  /// are ignored — callers feed every crash through without filtering.
+  void set_alive(bgp::RouterId arr, bool alive);
+
+  bool alive(bgp::RouterId arr) const;
+
+  /// ARRs of one AP, sorted by id. Empty for an unknown AP.
+  const std::vector<bgp::RouterId>& arrs_of(ibgp::ApId ap) const;
+
+  /// Lowest-id live ARR of the AP, or bgp::kNoRouter if the AP lost
+  /// all its ARRs (redundancy exhausted).
+  bgp::RouterId primary(ibgp::ApId ap) const;
+
+  /// Number of primary changes observed across set_alive transitions.
+  std::size_t failovers() const { return failovers_; }
+
+  /// Every AP still has at least one live ARR.
+  bool fully_redundant() const;
+
+  std::size_t ap_count() const { return aps_.size(); }
+
+ private:
+  struct ApState {
+    std::vector<bgp::RouterId> arrs;  // sorted by id
+  };
+  std::vector<ApState> aps_;  // indexed by ApId
+  std::vector<bgp::RouterId> dead_;
+  std::size_t failovers_ = 0;
+};
+
 }  // namespace abrr::core

@@ -1,0 +1,183 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abrr::fault {
+namespace {
+
+/// Messages dropped on the two directions of a channel so far.
+std::uint64_t channel_drops(net::Network& net, bgp::RouterId a,
+                            bgp::RouterId b) {
+  std::uint64_t drops = 0;
+  if (const auto* ch = net.channel(a, b)) drops += ch->dropped;
+  if (const auto* ch = net.channel(b, a)) drops += ch->dropped;
+  return drops;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(harness::Testbed& testbed,
+                             FaultSchedule schedule)
+    : testbed_(&testbed), schedule_(std::move(schedule)) {}
+
+sim::Time FaultInjector::last_event_end() const {
+  sim::Time end = 0;
+  for (const FaultEvent& ev : schedule_.events()) {
+    end = std::max(end, ev.at + ev.duration);
+  }
+  return end;
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error{"FaultInjector: arm() called twice"};
+  armed_ = true;
+  auto& sched = testbed_->scheduler();
+  for (const FaultEvent& ev : schedule_.events()) {
+    sched.schedule_at(ev.at, [this, ev] { fire(ev); });
+  }
+}
+
+void FaultInjector::fire(const FaultEvent& ev) {
+  ++counters_.events_fired;
+  auto& sched = testbed_->scheduler();
+  switch (ev.kind) {
+    case FaultKind::kSessionReset: {
+      ++counters_.session_resets;
+      session_flap_down(ev.a, ev.b);
+      sched.schedule_at(ev.at + ev.duration,
+                        [this, ev] { session_flap_up(ev.a, ev.b); });
+      break;
+    }
+    case FaultKind::kRouterCrash: {
+      crash(ev.a);
+      sched.schedule_at(ev.at + ev.duration, [this, ev] { restart(ev.a); });
+      break;
+    }
+    case FaultKind::kLinkDown: {
+      link_down(ev.a, ev.b);
+      sched.schedule_at(ev.at + ev.duration,
+                        [this, ev] { link_restore(ev.a, ev.b); });
+      break;
+    }
+    case FaultKind::kDelayBurst:
+    case FaultKind::kLossBurst: {
+      ++counters_.bursts;
+      auto& net = testbed_->network();
+      const std::uint64_t drops_before = channel_drops(net, ev.a, ev.b);
+      net.impair(ev.a, ev.b, ev.extra_delay, ev.loss_prob);
+      sched.schedule_at(ev.at + ev.duration, [this, ev, drops_before] {
+        auto& net2 = testbed_->network();
+        net2.impair(ev.a, ev.b, 0, 0);
+        // A loss burst models a failing path: the messages are gone for
+        // good in our transport, so once the path heals, the endpoints'
+        // delivered-state assumptions may be stale. Model TCP noticing
+        // and repairing the connection — but only when segments were
+        // actually lost, so clean bursts stay invisible.
+        if (channel_drops(net2, ev.a, ev.b) != drops_before) {
+          resync_session(ev.a, ev.b);
+        }
+      });
+      break;
+    }
+  }
+}
+
+void FaultInjector::session_flap_down(bgp::RouterId a, bgp::RouterId b) {
+  // Both ends see the connection die (explicit admin reset / TCP RST).
+  testbed_->speaker(a).session_down(b);
+  testbed_->speaker(b).session_down(a);
+}
+
+void FaultInjector::session_flap_up(bgp::RouterId a, bgp::RouterId b) {
+  testbed_->speaker(a).session_up(b);
+  testbed_->speaker(b).session_up(a);
+}
+
+void FaultInjector::crash(bgp::RouterId router) {
+  ++counters_.crashes;
+  testbed_->speaker(router).crash();
+  // Its TCP stack dies with it: in-flight and future messages toward it
+  // are lost, and nothing it "sent" is retransmitted.
+  testbed_->network().set_endpoint_up(router, false);
+  testbed_->mark_router_alive(router, false);
+}
+
+void FaultInjector::restart(bgp::RouterId router) {
+  ++counters_.restarts;
+  auto& speaker = testbed_->speaker(router);
+  speaker.restart();
+  testbed_->network().set_endpoint_up(router, true);
+  testbed_->mark_router_alive(router, true);
+
+  // Fresh TCP connections to every live peer. The peer side must treat
+  // the old session as dead first (it may not have noticed the crash if
+  // it was shorter than the hold time) — otherwise its Adj-RIB-Out
+  // bookkeeping still assumes the pre-crash state was delivered.
+  for (const bgp::RouterId peer : speaker.peer_ids()) {
+    auto& other = testbed_->speaker(peer);
+    if (!other.alive()) continue;  // both down: nothing to establish
+    other.session_down(router);
+    other.session_up(router);
+    speaker.session_up(peer);
+  }
+
+  // The eBGP neighbors re-send their tables over their own re-opened
+  // sessions (ground truth from the regenerator).
+  if (resync_) counters_.resync_routes += resync_(router);
+}
+
+void FaultInjector::link_down(bgp::RouterId a, bgp::RouterId b) {
+  ++counters_.link_downs;
+  testbed_->network().set_link(a, b, false);
+}
+
+void FaultInjector::link_restore(bgp::RouterId a, bgp::RouterId b) {
+  ++counters_.link_restores;
+  auto& net = testbed_->network();
+  const bool a_declared = !testbed_->speaker(a).peer_up(b);
+  const bool b_declared = !testbed_->speaker(b).peer_up(a);
+  if (!a_declared && !b_declared) {
+    // Outage shorter than the hold time: TCP rode it out. Restoring the
+    // link flushes the buffered send windows in order — no BGP-visible
+    // event at all.
+    net.set_link(a, b, true);
+    return;
+  }
+  // At least one side declared the peer dead and purged its routes; the
+  // buffered in-flight data belongs to a connection that no longer
+  // exists. Drop it with the old connection, then restore and resync.
+  testbed_->speaker(a).session_down(b);
+  testbed_->speaker(b).session_down(a);
+  net.set_link(a, b, true);
+  resync_session(a, b);
+}
+
+void FaultInjector::resync_session(bgp::RouterId a, bgp::RouterId b) {
+  auto& sa = testbed_->speaker(a);
+  auto& sb = testbed_->speaker(b);
+  if (!sa.alive() || !sb.alive()) return;  // restart() will handle it
+  ++counters_.repairs;
+  sa.session_down(b);
+  sb.session_down(a);
+  sa.session_up(b);
+  sb.session_up(a);
+}
+
+ResyncFn make_workload_resync(harness::Testbed& testbed,
+                              const trace::RouteRegenerator& regen) {
+  return [&testbed, &regen](bgp::RouterId router) -> std::uint64_t {
+    std::uint64_t injected = 0;
+    auto& speaker = testbed.speaker(router);
+    for (const trace::PrefixEntry& entry : regen.current().table()) {
+      for (const trace::Announcement& ann : entry.anns) {
+        if (ann.router != router || ann.down) continue;
+        speaker.inject_ebgp(ann.neighbor, ann.to_route(entry.prefix));
+        ++injected;
+      }
+    }
+    return injected;
+  };
+}
+
+}  // namespace abrr::fault

@@ -1,0 +1,87 @@
+// Replays a FaultSchedule against a live testbed through the simulator
+// clock, translating each abstract fault into the concrete speaker /
+// network operations that model it (state loss, TCP teardown, hold-timer
+// discovery, resync on restart).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fault/schedule.h"
+#include "harness/testbed.h"
+#include "trace/regenerator.h"
+
+namespace abrr::fault {
+
+/// What the injector actually did (per-run observability; also part of
+/// the deterministic-replay contract — same schedule, same counters).
+struct InjectorCounters {
+  std::uint64_t events_fired = 0;
+  std::uint64_t session_resets = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t link_downs = 0;
+  std::uint64_t link_restores = 0;
+  std::uint64_t bursts = 0;
+  /// Post-outage session re-synchronizations (the down/up dance run when
+  /// an outage invalidated one side's delivered-state assumption).
+  std::uint64_t repairs = 0;
+  /// eBGP routes re-injected into restarted routers.
+  std::uint64_t resync_routes = 0;
+};
+
+/// Re-feeds a restarted router's eBGP sessions (its neighbors re-sending
+/// their tables once the connections come back). Returns the number of
+/// routes injected.
+using ResyncFn = std::function<std::uint64_t(bgp::RouterId router)>;
+
+class FaultInjector {
+ public:
+  /// Binds to a testbed and takes a copy of the schedule. Nothing is
+  /// scheduled until arm().
+  FaultInjector(harness::Testbed& testbed, FaultSchedule schedule);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs the eBGP resync source for router restarts. Without one,
+  /// restarted border routers come back with no eBGP routes (pure
+  /// control-plane boxes like ARRs need none).
+  void set_resync(ResyncFn resync) { resync_ = std::move(resync); }
+
+  /// Schedules every event of the schedule on the testbed's clock.
+  /// Call once, before running the simulation past the first event.
+  void arm();
+
+  const InjectorCounters& counters() const { return counters_; }
+
+  /// End of the last scheduled outage window — run the simulation past
+  /// this (plus hold-time slack) before verifying recovery.
+  sim::Time last_event_end() const;
+
+ private:
+  void fire(const FaultEvent& event);
+  void session_flap_down(bgp::RouterId a, bgp::RouterId b);
+  void session_flap_up(bgp::RouterId a, bgp::RouterId b);
+  void crash(bgp::RouterId router);
+  void restart(bgp::RouterId router);
+  void link_down(bgp::RouterId a, bgp::RouterId b);
+  void link_restore(bgp::RouterId a, bgp::RouterId b);
+  /// Tears the session down and back up on both live ends — the repair
+  /// run after an outage that broke delivered-state assumptions.
+  void resync_session(bgp::RouterId a, bgp::RouterId b);
+
+  harness::Testbed* testbed_;
+  FaultSchedule schedule_;
+  ResyncFn resync_;
+  InjectorCounters counters_;
+  bool armed_ = false;
+};
+
+/// Standard resync source: the route regenerator's ground-truth edge
+/// state (`regen.current()`): every live announcement heard at the
+/// restarted router is re-injected. Both referents must outlive the fn.
+ResyncFn make_workload_resync(harness::Testbed& testbed,
+                              const trace::RouteRegenerator& regen);
+
+}  // namespace abrr::fault

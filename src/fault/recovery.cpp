@@ -1,0 +1,56 @@
+#include "fault/recovery.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "bgp/attrs_intern.h"
+
+namespace abrr::fault {
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+RecoveryReport verify_recovery(harness::Testbed& recovered,
+                               harness::Testbed& baseline,
+                               std::span<const bgp::Ipv4Prefix> prefixes) {
+  RecoveryReport report;
+  report.equivalence =
+      verify::compare_loc_ribs(recovered, baseline, prefixes);
+  verify::ForwardingChecker checker{recovered};
+  report.forwarding = checker.audit(prefixes);
+  return report;
+}
+
+std::uint64_t rib_fingerprint(harness::Testbed& testbed) {
+  std::vector<bgp::RouterId> ids = testbed.all_ids();
+  std::sort(ids.begin(), ids.end());
+
+  std::uint64_t fp = 0;
+  for (const bgp::RouterId id : ids) {
+    // Commutative per-speaker sum: LocRib::for_each iterates the map
+    // fallback in unspecified order, so the digest must not depend on it.
+    std::uint64_t speaker_sum = 0;
+    testbed.speaker(id).loc_rib().for_each([&](const bgp::Route& r) {
+      std::uint64_t h = mix64(r.prefix.address());
+      h = mix64(h ^ r.prefix.length());
+      h = mix64(h ^ r.attrs->next_hop);
+      const std::uint64_t attrs_hash =
+          r.attrs->content_hash != 0 ? r.attrs->content_hash
+                                     : bgp::attrs_content_hash(*r.attrs);
+      speaker_sum += mix64(h ^ attrs_hash);
+    });
+    fp = mix64(fp ^ mix64(id)) ^ speaker_sum;
+    fp = mix64(fp);
+  }
+  return fp;
+}
+
+}  // namespace abrr::fault

@@ -1,0 +1,37 @@
+// Post-fault recovery verification: after an intact-topology schedule
+// (every crashed router restarted, every link restored), the reflected
+// architecture must reconverge to full-mesh-equivalent state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "harness/testbed.h"
+#include "verify/equivalence.h"
+#include "verify/forwarding.h"
+
+namespace abrr::fault {
+
+struct RecoveryReport {
+  verify::EquivalenceReport equivalence;
+  verify::ForwardingAudit forwarding;
+
+  bool ok() const {
+    return equivalence.equivalent() && forwarding.clean();
+  }
+};
+
+/// Runs both steady-state checks of the recovered testbed against the
+/// untouched baseline: Loc-RIB equivalence over all shared clients, and
+/// a full data-plane forwarding audit of the recovered bed.
+RecoveryReport verify_recovery(harness::Testbed& recovered,
+                               harness::Testbed& baseline,
+                               std::span<const bgp::Ipv4Prefix> prefixes);
+
+/// Order-independent digest of every speaker's Loc-RIB (prefix, egress,
+/// path attributes), chained over speakers in id order. Two runs of the
+/// same schedule + seed must produce identical fingerprints — the
+/// deterministic-replay contract.
+std::uint64_t rib_fingerprint(harness::Testbed& testbed);
+
+}  // namespace abrr::fault

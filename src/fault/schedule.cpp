@@ -1,0 +1,123 @@
+#include "fault/schedule.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace abrr::fault {
+namespace {
+
+constexpr const char* kKindNames[] = {"session", "crash", "link", "delay",
+                                      "loss"};
+
+FaultKind kind_from_string(const std::string& token) {
+  for (std::size_t i = 0; i < std::size(kKindNames); ++i) {
+    if (token == kKindNames[i]) return static_cast<FaultKind>(i);
+  }
+  throw std::invalid_argument{"FaultSchedule: unknown fault kind '" + token +
+                              "'"};
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+FaultSchedule FaultSchedule::chaos(
+    const ChaosParams& params, std::span<const RouterId> routers,
+    std::span<const std::pair<RouterId, RouterId>> links, sim::Rng& rng) {
+  if (params.horizon < params.start) {
+    throw std::invalid_argument{"chaos: horizon before start"};
+  }
+  if (params.max_duration < params.min_duration) {
+    throw std::invalid_argument{"chaos: max_duration < min_duration"};
+  }
+  const double weights[] = {params.session_weight, params.crash_weight,
+                            params.link_weight, params.delay_weight,
+                            params.loss_weight};
+  double total_weight = 0;
+  for (const double w : weights) {
+    if (w < 0) throw std::invalid_argument{"chaos: negative weight"};
+    total_weight += w;
+  }
+  if (total_weight <= 0) throw std::invalid_argument{"chaos: all weights 0"};
+
+  FaultSchedule schedule;
+  for (std::size_t i = 0; i < params.events; ++i) {
+    double pick = rng.uniform_real(0, total_weight);
+    std::size_t k = 0;
+    while (k + 1 < std::size(weights) && pick >= weights[k]) {
+      pick -= weights[k];
+      ++k;
+    }
+
+    FaultEvent ev;
+    ev.kind = static_cast<FaultKind>(k);
+    ev.at = params.start +
+            rng.uniform_int(0, params.horizon - params.start);
+    ev.duration = params.min_duration +
+                  rng.uniform_int(0, params.max_duration -
+                                         params.min_duration);
+    if (ev.kind == FaultKind::kRouterCrash) {
+      if (routers.empty()) {
+        throw std::invalid_argument{"chaos: crash weight > 0, no routers"};
+      }
+      ev.a = routers[rng.index(routers.size())];
+    } else {
+      if (links.empty()) {
+        throw std::invalid_argument{"chaos: link faults enabled, no links"};
+      }
+      const auto& [a, b] = links[rng.index(links.size())];
+      ev.a = a;
+      ev.b = b;
+      if (ev.kind == FaultKind::kDelayBurst) {
+        ev.extra_delay = params.burst_delay;
+      } else if (ev.kind == FaultKind::kLossBurst) {
+        ev.loss_prob = params.burst_loss;
+      }
+    }
+    schedule.add(ev);
+  }
+  return schedule;
+}
+
+std::string FaultSchedule::to_text() const {
+  std::ostringstream out;
+  for (const FaultEvent& ev : events_) {
+    out << to_string(ev.kind) << ' ' << ev.at << ' ' << ev.duration << ' '
+        << ev.a << ' ' << ev.b << ' ' << ev.extra_delay << ' '
+        << ev.loss_prob << '\n';
+  }
+  return out.str();
+}
+
+FaultSchedule FaultSchedule::parse(std::string_view text) {
+  FaultSchedule schedule;
+  std::istringstream in{std::string{text}};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields{line};
+    std::string kind;
+    FaultEvent ev;
+    if (!(fields >> kind >> ev.at >> ev.duration >> ev.a >> ev.b >>
+          ev.extra_delay >> ev.loss_prob)) {
+      throw std::invalid_argument{"FaultSchedule: malformed line " +
+                                  std::to_string(line_no)};
+    }
+    ev.kind = kind_from_string(kind);
+    if (ev.at < 0 || ev.duration < 0 || ev.extra_delay < 0 ||
+        ev.loss_prob < 0 || ev.loss_prob > 1) {
+      throw std::invalid_argument{"FaultSchedule: bad values on line " +
+                                  std::to_string(line_no)};
+    }
+    schedule.add(ev);
+  }
+  return schedule;
+}
+
+}  // namespace abrr::fault

@@ -1,0 +1,91 @@
+// Deterministic fault schedules: the scripted (or seeded-random) event
+// sequences the fault injector replays against a testbed. A schedule is
+// pure data — replaying the same schedule (or regenerating it from the
+// same chaos seed) against the same testbed yields a bit-identical run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bgp/types.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace abrr::fault {
+
+using bgp::RouterId;
+
+enum class FaultKind {
+  kSessionReset,  // iBGP session flap between a and b
+  kRouterCrash,   // router a dies with total state loss, restarts later
+  kLinkDown,      // transport a <-> b down (TCP buffers ride it out)
+  kDelayBurst,    // every message on a <-> b gains extra latency
+  kLossBurst,     // messages on a <-> b are lost with loss_prob
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSessionReset;
+  sim::Time at = 0;        // injection time
+  sim::Time duration = 0;  // outage / burst window; 0 = instant flap
+  RouterId a = bgp::kNoRouter;  // crashed router, or session endpoint
+  RouterId b = bgp::kNoRouter;  // other session endpoint (unused: crash)
+  sim::Time extra_delay = 0;    // kDelayBurst surcharge
+  double loss_prob = 0;         // kLossBurst probability
+};
+
+/// Knobs for the seeded-random chaos generator.
+struct ChaosParams {
+  std::size_t events = 16;
+  sim::Time start = sim::sec(1);        // earliest injection time
+  sim::Time horizon = sim::sec(60);     // latest injection time
+  sim::Time min_duration = sim::msec(500);
+  sim::Time max_duration = sim::sec(5);
+  /// Relative weights of the five fault kinds (0 disables a kind).
+  double session_weight = 1;
+  double crash_weight = 1;
+  double link_weight = 1;
+  double delay_weight = 1;
+  double loss_weight = 1;
+  sim::Time burst_delay = sim::msec(200);  // kDelayBurst surcharge
+  double burst_loss = 0.2;                 // kLossBurst probability
+};
+
+/// An ordered list of fault events plus a text serialization, so chaos
+/// runs can be captured, replayed and minimized.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  void add(FaultEvent event) { events_.push_back(event); }
+
+  /// Generates `params.events` random faults over the given routers and
+  /// sessions. Deterministic per rng state; `routers` are crash
+  /// candidates, `links` the session pairs eligible for session/link/
+  /// burst faults (use net::Network::sessions() for a stable order).
+  static FaultSchedule chaos(
+      const ChaosParams& params, std::span<const RouterId> routers,
+      std::span<const std::pair<RouterId, RouterId>> links, sim::Rng& rng);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// One event per line: `kind at_us duration_us a b extra_delay_us
+  /// loss_prob`. Round-trips exactly through parse().
+  std::string to_text() const;
+
+  /// Parses to_text() output (blank lines and `#` comments allowed).
+  /// Throws std::invalid_argument on malformed input.
+  static FaultSchedule parse(std::string_view text);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace abrr::fault

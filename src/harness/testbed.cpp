@@ -46,6 +46,7 @@ ibgp::Speaker& Testbed::make_speaker(ibgp::SpeakerConfig cfg) {
   cfg.proc_delay = options_.proc_delay;
   cfg.proc_per_update = options_.proc_per_update;
   cfg.abrr_force_client_reduction = options_.abrr_force_client_reduction;
+  cfg.hold_time = options_.hold_time;
   auto speaker = std::make_unique<ibgp::Speaker>(cfg, scheduler_, network_);
   if (prefix_index_) speaker->set_prefix_index(prefix_index_);
   auto& ref = *speaker;
@@ -201,6 +202,7 @@ void Testbed::wire_abrr(bool dual, std::span<const Ipv4Prefix> prefixes) {
       cfg.data_plane = false;
       make_speaker(cfg);
       arr_ap_.emplace(id, static_cast<ibgp::ApId>(ap));
+      arr_directory_.assign(static_cast<ibgp::ApId>(ap), id);
       arr_ids.push_back(id);
     }
   }
@@ -284,6 +286,10 @@ ibgp::SpeakerCounters Testbed::delta_counters(RouterId id) const {
   now.loops_suppressed -= base.loops_suppressed;
   now.misdirected -= base.misdirected;
   now.best_changes -= base.best_changes;
+  now.keepalives_sent -= base.keepalives_sent;
+  now.keepalives_received -= base.keepalives_received;
+  now.hold_expirations -= base.hold_expirations;
+  now.sessions_reestablished -= base.sessions_reestablished;
   return now;
 }
 

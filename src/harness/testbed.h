@@ -46,6 +46,10 @@ struct TestbedOptions {
   /// to exercise the map-fallback storage (equivalence tests, legacy
   /// benchmarks); results must be identical either way.
   bool use_prefix_index = true;
+  /// iBGP hold time for failure detection (RFC 4271 §6.5 semantics);
+  /// 0 disables timers entirely — peers only go down via explicit
+  /// session_down — preserving the fault-free behavior bit for bit.
+  sim::Time hold_time = 0;
 };
 
 /// Aggregate over a set of speakers (Figure 6's min/avg/max bars).
@@ -132,6 +136,17 @@ class Testbed {
 
   std::size_t session_count() const { return network_.session_count(); }
 
+  /// Liveness/primary directory of the redundant ARRs per AP (empty for
+  /// non-ABRR modes). The fault injector keeps it in sync with crashes.
+  core::ArrDirectory& arr_directory() { return arr_directory_; }
+  const core::ArrDirectory& arr_directory() const { return arr_directory_; }
+
+  /// Records a router death/revival in the ARR directory (no-op for
+  /// routers that are not ARRs — the directory ignores unknown ids).
+  void mark_router_alive(RouterId id, bool alive) {
+    arr_directory_.set_alive(id, alive);
+  }
+
  private:
   void wire_full_mesh();
   void wire_tbrr(bool dual);
@@ -155,6 +170,7 @@ class Testbed {
   std::vector<RouterId> all_ids_;
   /// ARR id -> managed AP (ABRR).
   std::unordered_map<RouterId, ibgp::ApId> arr_ap_;
+  core::ArrDirectory arr_directory_;
 
   // Counter snapshots for reset_counters().
   std::unordered_map<RouterId, ibgp::SpeakerCounters> baseline_;

@@ -49,6 +49,8 @@ void Speaker::add_peer(const PeerInfo& peer) {
   auto [it, inserted] = peers_.emplace(peer.id, PeerState{});
   if (inserted) {
     it->second.info = peer;
+    it->second.last_heard = scheduler_->now();
+    peer_order_.push_back(peer.id);
   } else {
     // Roles are additive: re-adding a peer merges the new roles into the
     // existing ones (an ARR pair wired from both ends ends up with both
@@ -95,26 +97,80 @@ void Speaker::start() {
       [this](RouterId from, const bgp::UpdateMessage& msg) {
         receive(from, msg);
       });
+  if (config_.hold_time > 0 && !keepalive_armed_) {
+    keepalive_armed_ = true;
+    keepalive_timer_ = scheduler_->schedule_after(
+        keepalive_interval(), [this] { keepalive_tick(); });
+  }
+}
+
+sim::Time Speaker::keepalive_interval() const {
+  return std::max<sim::Time>(1, config_.hold_time / 3);
+}
+
+void Speaker::keepalive_tick() {
+  keepalive_armed_ = false;
+  if (!alive_ || config_.hold_time <= 0) return;
+  const sim::Time now = scheduler_->now();
+  // Expiry first: a peer silent for a full hold time is declared down,
+  // which runs the bulk-withdraw path — detection by timeout, not by
+  // oracle (the fault injector never tells the survivors).
+  for (const RouterId id : peer_order_) {
+    PeerState& ps = peers_.at(id);
+    if (!ps.up) continue;
+    if (now - ps.last_heard >= config_.hold_time) {
+      ++counters_.hold_expirations;
+      session_down(id);
+    }
+  }
+  // Keepalive every session still considered up.
+  for (const RouterId id : peer_order_) {
+    if (!peers_.at(id).up) continue;
+    bgp::UpdateMessage msg;
+    msg.keepalive = true;
+    ++counters_.keepalives_sent;
+    network_->send(config_.id, id, std::move(msg));
+  }
+  keepalive_armed_ = true;
+  keepalive_timer_ = scheduler_->schedule_after(
+      keepalive_interval(), [this] { keepalive_tick(); });
 }
 
 void Speaker::receive(RouterId from, const bgp::UpdateMessage& msg) {
+  if (!alive_) return;  // a crashed process hears nothing
+  const auto pit = peers_.find(from);
+  if (pit != peers_.end()) {
+    pit->second.last_heard = scheduler_->now();
+    // Traffic from a peer we consider down proves the transport works:
+    // treat it as session (re-)establishment and resync toward it.
+    if (!pit->second.up) {
+      ++counters_.sessions_reestablished;
+      session_up(from);
+    }
+  }
+  if (msg.keepalive) {
+    ++counters_.keepalives_received;
+    return;
+  }
   ++counters_.updates_received;
   counters_.routes_received += msg.announce.size();
   enqueue(Incoming{from, msg, /*ebgp=*/false, /*withdraw_ebgp=*/false});
 }
 
 void Speaker::enqueue(Incoming incoming) {
+  if (!alive_) return;  // eBGP injections towards a dead router are lost
   input_queue_.push_back(std::move(incoming));
   if (!drain_scheduled_) {
     drain_scheduled_ = true;
     const sim::Time at = std::max(scheduler_->now() + config_.proc_delay,
                                   busy_until_ + config_.proc_delay);
-    scheduler_->schedule_at(at, [this] { drain_input(); });
+    drain_event_ = scheduler_->schedule_at(at, [this] { drain_input(); });
   }
 }
 
 void Speaker::drain_input() {
   drain_scheduled_ = false;
+  if (!alive_) return;
   std::deque<Incoming> batch;
   batch.swap(input_queue_);
   busy_until_ =
@@ -284,6 +340,7 @@ void Speaker::run_pipeline(const Ipv4Prefix& prefix) {
 }
 
 void Speaker::refresh_all() {
+  if (!alive_) return;
   std::vector<Ipv4Prefix> seen;
   adj_rib_in_.for_each([&](const Route& r) { seen.push_back(r.prefix); });
   loc_rib_.for_each([&](const Route& r) { seen.push_back(r.prefix); });
@@ -357,27 +414,43 @@ void Speaker::add_ebgp_neighbor(RouterId neighbor, Asn neighbor_as,
   loc_rib_.for_each([&](const Route& r) { export_ebgp(r.prefix, &r); });
 }
 
+void Speaker::reset_peer_tx_state(PeerState& ps) {
+  if (ps.mrai_armed) {
+    scheduler_->cancel(ps.mrai_timer);
+    ps.mrai_armed = false;
+  }
+  ps.pending.clear();
+  ps.pending_keys.clear();
+  // The peer lost our state with the TCP session.
+  ps.sent_hash_map.clear();
+  std::fill(ps.sent_hash_flat.begin(), ps.sent_hash_flat.end(), 0);
+}
+
 void Speaker::session_down(RouterId peer) {
-  const std::vector<Ipv4Prefix> affected = adj_rib_in_.withdraw_peer(peer);
   const auto pit = peers_.find(peer);
   if (pit != peers_.end()) {
     PeerState& ps = pit->second;
-    if (ps.mrai_armed) {
-      scheduler_->cancel(ps.mrai_timer);
-      ps.mrai_armed = false;
+    // Idempotent: the failover path may learn about one failure from
+    // several sources (hold expiry, injector, operator); the first one
+    // already purged everything.
+    if (!ps.up) return;
+    ps.up = false;
+    reset_peer_tx_state(ps);
+    // The connection reset loses whatever the transport still held.
+    if (network_->connected(config_.id, peer)) {
+      network_->session_reset(config_.id, peer);
     }
-    ps.pending.clear();
-    ps.pending_keys.clear();
-    // The peer lost our state with the TCP session.
-    ps.sent_hash_map.clear();
-    std::fill(ps.sent_hash_flat.begin(), ps.sent_hash_flat.end(), 0);
   }
+  const std::vector<Ipv4Prefix> affected = adj_rib_in_.withdraw_peer(peer);
   for (const Ipv4Prefix& prefix : affected) run_pipeline(prefix);
 }
 
 void Speaker::session_up(RouterId peer) {
+  if (!alive_) return;  // a crashed router cannot open sessions
   const auto pit = peers_.find(peer);
   if (pit == peers_.end()) return;
+  pit->second.up = true;
+  pit->second.last_heard = scheduler_->now();
   for (const auto& [key, g] : groups_) {
     if (std::find(g.members.begin(), g.members.end(), peer) ==
         g.members.end()) {
@@ -387,6 +460,56 @@ void Speaker::session_up(RouterId peer) {
         [&, k = key](const Ipv4Prefix& prefix, const std::vector<Route>&) {
           schedule_send(peer, k, prefix);
         });
+  }
+}
+
+bool Speaker::peer_up(RouterId peer) const {
+  const auto pit = peers_.find(peer);
+  return pit != peers_.end() && pit->second.up;
+}
+
+void Speaker::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  if (keepalive_armed_) {
+    scheduler_->cancel(keepalive_timer_);
+    keepalive_armed_ = false;
+  }
+  if (drain_scheduled_) {
+    scheduler_->cancel(drain_event_);
+    drain_scheduled_ = false;
+  }
+  input_queue_.clear();
+  busy_until_ = 0;
+  for (const RouterId id : peer_order_) {
+    PeerState& ps = peers_.at(id);
+    ps.up = false;
+    reset_peer_tx_state(ps);
+  }
+  // All RIB state dies with the process. The best-change hook is not
+  // fired: a crash is not a decision-process outcome, and the monitors
+  // observe the survivors' reactions instead.
+  adj_rib_in_.clear();
+  loc_rib_.clear();
+  for (auto& [key, g] : groups_) g.rib.clear();
+  for (auto& [neighbor, state] : ebgp_neighbors_) {
+    state.advertised.clear();
+    std::fill(state.advertised_flat.begin(), state.advertised_flat.end(), 0);
+  }
+}
+
+void Speaker::restart() {
+  if (alive_) return;
+  alive_ = true;
+  // Sessions stay down until re-established; hold/keepalive processing
+  // resumes immediately.
+  if (config_.hold_time > 0 && !keepalive_armed_) {
+    for (const RouterId id : peer_order_) {
+      peers_.at(id).last_heard = scheduler_->now();
+    }
+    keepalive_armed_ = true;
+    keepalive_timer_ = scheduler_->schedule_after(
+        keepalive_interval(), [this] { keepalive_tick(); });
   }
 }
 
@@ -578,6 +701,9 @@ void Speaker::set_group_routes(int key, const Ipv4Prefix& prefix,
 
 void Speaker::schedule_send(RouterId peer, int key, const Ipv4Prefix& prefix) {
   PeerState& ps = peers_.at(peer);
+  // Nothing is sent into a torn-down session; session_up replays the
+  // whole Adj-RIB-Out when it comes back, so nothing is lost either.
+  if (!ps.up) return;
   if (config_.mrai <= 0) {
     transmit(ps, key, prefix);
     return;
@@ -614,6 +740,7 @@ void Speaker::flush_peer(RouterId peer) {
 }
 
 void Speaker::transmit(PeerState& ps, int key, const Ipv4Prefix& prefix) {
+  if (!ps.up) return;
   const OutGroup& g = group(key);
   const std::vector<Route>* current = g.rib.get(prefix);
 

@@ -102,6 +102,12 @@ struct SpeakerConfig {
   /// Minimum Route Advertisement Interval towards iBGP peers (§3.5);
   /// 0 disables MRAI.
   sim::Time mrai = sim::sec(5);
+  /// iBGP session hold time; 0 disables failure detection entirely (the
+  /// pre-fault-subsystem behaviour: sessions only fail by oracle).
+  /// When set, the speaker keepalives every hold_time/3 and declares a
+  /// peer down — triggering the bulk-withdraw path — once nothing was
+  /// heard from it for a full hold time (RFC 4271 §6.5 semantics).
+  sim::Time hold_time = 0;
   /// Input batch window: received updates are queued and processed
   /// together after this delay (models the BGP process scheduling that
   /// lets ARRs coalesce a routing event's client updates, §4.2).
@@ -124,6 +130,13 @@ struct SpeakerCounters {
   std::uint64_t misdirected = 0;          // client routes outside our APs
   std::uint64_t ebgp_updates_sent = 0;    // announce/withdraw to eBGP
   std::uint64_t best_changes = 0;         // Loc-RIB best flips
+  // Fault/liveness metrics (all zero while hold_time == 0 and no faults
+  // are injected; counters survive a crash — they model the testbed's
+  // external observer, not device memory).
+  std::uint64_t keepalives_sent = 0;
+  std::uint64_t keepalives_received = 0;
+  std::uint64_t hold_expirations = 0;     // peers declared down by timeout
+  std::uint64_t sessions_reestablished = 0;
 };
 
 /// A BGP speaker attached to a Network and a Scheduler.
@@ -212,11 +225,40 @@ class Speaker {
 
   /// An iBGP peer's or eBGP neighbor's session dropped: purge every
   /// route learned from it and re-run decisions (bulk withdraw).
+  /// Idempotent — a second down for an already-down iBGP peer is a
+  /// no-op — and safe for unknown peers (this is the failover hot
+  /// path). Tearing down an iBGP session also resets the transport
+  /// (buffered in-flight messages are lost with the TCP connection).
   void session_down(RouterId peer);
 
   /// An iBGP session (re-)established: replay the full relevant
   /// Adj-RIB-Out state toward the peer (BGP initial table sync).
+  /// Receiving any message from a peer we consider down also counts as
+  /// (re-)establishment — the transport evidently works — and triggers
+  /// the same replay toward it.
   void session_up(RouterId peer);
+
+  /// True while this speaker considers the session to `peer` usable.
+  /// Unknown peers report false.
+  bool peer_up(RouterId peer) const;
+
+  /// Peer ids in (deterministic) wiring order.
+  const std::vector<RouterId>& peer_ids() const { return peer_order_; }
+
+  // --- fault injection --------------------------------------------------
+
+  /// The router process dies: every RIB, timer, queue and session is
+  /// lost. The speaker ignores all input until restart(). Peers are NOT
+  /// notified — they discover the crash through their hold timers (or
+  /// the fault injector's explicit session events).
+  void crash();
+
+  /// The router comes back up with empty tables. Sessions stay down
+  /// until re-established (session_up / first received message), and
+  /// eBGP feeds must be re-injected by the neighbor (fault injector).
+  void restart();
+
+  bool alive() const { return alive_; }
 
   // --- Introspection ----------------------------------------------------
 
@@ -250,6 +292,11 @@ class Speaker {
 
   struct PeerState {
     PeerInfo info;
+    /// Session usable? Cleared by session_down / crash / hold expiry;
+    /// set by session_up (including the receive-side auto-up).
+    bool up = true;
+    /// Last time anything (update or keepalive) arrived from the peer.
+    sim::Time last_heard = 0;
     // MRAI state.
     bool mrai_armed = false;
     sim::EventId mrai_timer = 0;
@@ -306,6 +353,14 @@ class Speaker {
   std::uint64_t& sent_hash(PeerState& peer, int group,
                            const Ipv4Prefix& prefix);
 
+  // -- liveness (hold/keepalive) --
+  sim::Time keepalive_interval() const;
+  /// Periodic per-speaker tick: expires silent peers' hold timers, then
+  /// keepalives every up session, then re-arms itself.
+  void keepalive_tick();
+  /// Clears a peer's transmission state (MRAI, pending, sent hashes).
+  void reset_peer_tx_state(PeerState& peer);
+
   OutGroup& group(int key);
   /// True when decisions for this prefix use the ABRR plane.
   bool uses_abrr(const Ipv4Prefix& prefix) const;
@@ -339,6 +394,9 @@ class Speaker {
   EbgpSendHook ebgp_send_hook_;
 
   std::unordered_map<RouterId, PeerState> peers_;
+  /// Peer ids in add_peer order: a deterministic iteration order for
+  /// the keepalive tick and crash teardown.
+  std::vector<RouterId> peer_order_;
   std::unordered_map<int, OutGroup> groups_;
   // Dense slot assignment for (group) -> index used by sent_hash_flat.
   std::unordered_map<int, std::uint32_t> group_slot_;
@@ -348,7 +406,13 @@ class Speaker {
 
   std::deque<Incoming> input_queue_;
   bool drain_scheduled_ = false;
+  sim::EventId drain_event_ = 0;
   sim::Time busy_until_ = 0;
+
+  // Liveness state.
+  bool alive_ = true;
+  bool keepalive_armed_ = false;
+  sim::EventId keepalive_timer_ = 0;
 
   // Dirty-prefix coalescing for drain_input: per-PrefixId epoch stamps
   // so a drain batch dedups indexed prefixes in O(1) per touch.

@@ -3,11 +3,24 @@
 // Models the BGP TCP session transport: reliable, in-order delivery with
 // a configurable one-way latency. In-order delivery is enforced even
 // under jitter by never scheduling a message before the previously sent
-// one on the same directed channel.
+// one on the same directed channel, and is additionally asserted at
+// delivery time by a per-channel sequence check (the fault-injection
+// hooks must not be able to reorder the stream).
+//
+// Fault model (driven by fault::FaultInjector through Network):
+//  - link down: messages are buffered, not lost — TCP keeps
+//    retransmitting across a short outage. The buffer is flushed in
+//    order when the link restores, and discarded when either endpoint
+//    tears the session down (the connection reset loses the window).
+//  - impairment window: per-message extra delay and/or loss probability.
+//    Loss is decided at send time, before a sequence number is
+//    assigned, so delivered messages still form a gap-free FIFO stream.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "bgp/update.h"
 #include "sim/time.h"
 
 namespace abrr::net {
@@ -22,6 +35,26 @@ struct ChannelState {
   /// Messages and bytes carried (for the bandwidth accounting of §4.2).
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+
+  // --- fault state ----------------------------------------------------
+  /// Link up? While down, sends are buffered (TCP retransmission).
+  bool up = true;
+  /// Impairment window: per-message latency surcharge.
+  sim::Time extra_delay = 0;
+  /// Impairment window: per-message loss probability (drop at send).
+  double loss_prob = 0;
+  /// Messages dropped by faults (loss bursts, dead endpoints, resets).
+  std::uint64_t dropped = 0;
+  /// Messages awaiting a link restore, in send order.
+  std::vector<bgp::UpdateMessage> buffered;
+
+  // --- in-order delivery invariant ------------------------------------
+  /// Next sequence number to assign when a delivery is scheduled.
+  std::uint64_t next_seq = 0;
+  /// Sequence number the receiver expects; a delivered message whose
+  /// sequence differs means the fault hooks reordered the stream, which
+  /// is a bug (Network::send throws logic_error).
+  std::uint64_t expect_seq = 0;
 };
 
 }  // namespace abrr::net

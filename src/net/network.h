@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "bgp/types.h"
 #include "bgp/update.h"
@@ -22,6 +25,9 @@ using Receiver = std::function<void(RouterId, const bgp::UpdateMessage&)>;
 ///
 /// Endpoints are BGP speakers; `connect` establishes a bidirectional
 /// session transport with a one-way latency (optionally jittered).
+/// Fault-injection hooks (link state, endpoint state, impairment
+/// windows) preserve the reliable in-order contract for every message
+/// that is actually delivered; see channel.h for the model.
 class Network {
  public:
   Network(sim::Scheduler& scheduler, sim::Rng& rng)
@@ -41,13 +47,48 @@ class Network {
   bool connected(RouterId a, RouterId b) const;
 
   /// Sends a message; delivery is scheduled after the channel latency
-  /// (plus jitter), no earlier than the previous message on the same
-  /// directed channel. Throws if the channel does not exist.
+  /// (plus jitter and any impairment surcharge), no earlier than the
+  /// previous message on the same directed channel. Throws if the
+  /// channel does not exist. While the link is down the message is
+  /// buffered; while the destination endpoint is down it is dropped.
   void send(RouterId from, RouterId to, bgp::UpdateMessage msg);
+
+  // --- fault-injection hooks -----------------------------------------
+
+  /// Takes the link between `a` and `b` down or up (both directions).
+  /// Down: sends buffer (TCP retransmission semantics). Up: buffered
+  /// messages flush in their original order.
+  void set_link(RouterId a, RouterId b, bool up);
+
+  bool link_up(RouterId a, RouterId b) const;
+
+  /// Marks an endpoint dead/alive (router crash). Messages towards a
+  /// dead endpoint are dropped at send time — its TCP stack is gone, so
+  /// nothing retransmits them.
+  void set_endpoint_up(RouterId id, bool up);
+
+  bool endpoint_up(RouterId id) const;
+
+  /// Impairment window on both directions of a channel: every message
+  /// gains `extra_delay` latency and is lost with probability
+  /// `loss_prob` (decided at send). Clear with (0, 0).
+  void impair(RouterId a, RouterId b, sim::Time extra_delay,
+              double loss_prob);
+
+  /// A session between `a` and `b` was torn down: the connection reset
+  /// discards anything buffered on either direction. Harmless when no
+  /// channel exists.
+  void session_reset(RouterId a, RouterId b);
+
+  /// Every connected (a, b) pair once, a < b, sorted — a deterministic
+  /// enumeration for chaos-schedule target selection.
+  std::vector<std::pair<RouterId, RouterId>> sessions() const;
 
   /// Aggregate counters.
   std::uint64_t total_messages() const { return total_messages_; }
   std::uint64_t total_bytes() const { return total_bytes_; }
+  /// Messages dropped by fault hooks (loss, dead endpoints, resets).
+  std::uint64_t total_dropped() const { return total_dropped_; }
 
   /// Per-directed-channel counters, or nullptr if not connected.
   const ChannelState* channel(RouterId from, RouterId to) const;
@@ -59,12 +100,19 @@ class Network {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
+  /// Schedules the delivery of `msg` on channel (from, to), assigning
+  /// its FIFO sequence number. The channel must exist and be up.
+  void dispatch(RouterId from, RouterId to, ChannelState& ch,
+                bgp::UpdateMessage msg);
+
   sim::Scheduler* scheduler_;
   sim::Rng* rng_;
   std::unordered_map<RouterId, Receiver> endpoints_;
   std::unordered_map<std::uint64_t, ChannelState> channels_;
+  std::unordered_set<RouterId> down_endpoints_;
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_dropped_ = 0;
 };
 
 }  // namespace abrr::net

@@ -39,4 +39,9 @@ constexpr double to_seconds(Time t) {
   return static_cast<double>(t) / static_cast<double>(kSecond);
 }
 
+/// Convert a duration to fractional milliseconds (for reporting only).
+constexpr double to_msec(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
 }  // namespace abrr::sim

@@ -1,0 +1,126 @@
+// ARR failover sweep: kill each reflector in turn (each ARR in the ABRR
+// and dual beds, each TRR in the TBRR bed, a border router in the
+// full-mesh bed), let the clients fail over to the redundant ARR, then
+// restart it and prove the client Loc-RIBs re-equal the untouched
+// full-mesh baseline — in every iBGP mode.
+#include <gtest/gtest.h>
+
+#include "fault/injector.h"
+#include "fault/recovery.h"
+#include "fault/schedule.h"
+#include "fault_scenario.h"
+
+namespace abrr::fault {
+namespace {
+
+using testing::Bed;
+using testing::make_baseline;
+using testing::make_bed;
+
+constexpr sim::Time kHold = sim::sec(2);
+
+class ArrFailoverTest : public ::testing::TestWithParam<ibgp::IbgpMode> {};
+
+TEST_P(ArrFailoverTest, EachReflectorDeathRecoversToBaseline) {
+  Bed bed = make_bed(GetParam(), kHold);
+  // Reflectors where the mode has them; otherwise a border router, so
+  // full mesh still exercises crash recovery.
+  std::vector<bgp::RouterId> victims = bed->rr_ids();
+  if (victims.empty()) victims.push_back(bed->client_ids().front());
+
+  FaultSchedule schedule;
+  sim::Time at = bed->scheduler().now() + sim::sec(1);
+  for (const bgp::RouterId victim : victims) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kRouterCrash;
+    ev.at = at;
+    ev.duration = 3 * kHold;  // long enough for hold-timer discovery
+    ev.a = victim;
+    schedule.add(ev);
+    // Serialize the kills: each victim is dead alone, so redundancy is
+    // what keeps the clients routing.
+    at += ev.duration + sim::sec(10);
+  }
+
+  FaultInjector injector{*bed, schedule};
+  injector.set_resync(make_workload_resync(*bed, *bed.regen));
+  injector.arm();
+  bed->run_until(injector.last_event_end() + sim::sec(30));
+
+  ASSERT_EQ(injector.counters().crashes, victims.size());
+  ASSERT_EQ(injector.counters().restarts, victims.size());
+
+  Bed baseline = make_baseline();
+  const auto report =
+      verify_recovery(*bed, *baseline, testing::scenario().prefixes);
+  EXPECT_TRUE(report.ok())
+      << report.equivalence.divergence_count << " divergences, "
+      << report.forwarding.loops << " forwarding loops";
+}
+
+TEST_P(ArrFailoverTest, ClientsKeepRoutingWhileOneArrIsDead) {
+  const auto mode = GetParam();
+  if (mode != ibgp::IbgpMode::kAbrr && mode != ibgp::IbgpMode::kDual) {
+    GTEST_SKIP() << "redundant ARRs exist only in ABRR/dual beds";
+  }
+  Bed bed = make_bed(mode, kHold);
+  auto& dir = bed->arr_directory();
+  ASSERT_TRUE(dir.fully_redundant());
+
+  // Kill the primary ARR of AP 0 and wait out the hold timers.
+  const bgp::RouterId primary = dir.primary(0);
+  ASSERT_NE(primary, bgp::kNoRouter);
+  FaultSchedule schedule;
+  FaultEvent ev;
+  ev.kind = FaultKind::kRouterCrash;
+  ev.at = bed->scheduler().now() + sim::sec(1);
+  ev.duration = sim::sec(20);
+  ev.a = primary;
+  schedule.add(ev);
+
+  FaultInjector injector{*bed, schedule};
+  injector.arm();
+  bed->run_until(ev.at + sim::sec(15));  // mid-outage
+
+  // Deterministic election moved the primary; the AP never went dark.
+  EXPECT_FALSE(dir.alive(primary));
+  EXPECT_NE(dir.primary(0), primary);
+  EXPECT_NE(dir.primary(0), bgp::kNoRouter);
+  EXPECT_TRUE(dir.fully_redundant());
+  EXPECT_EQ(dir.failovers(), 1u);
+
+  // Mid-outage, every client still has a full Loc-RIB: the redundant
+  // ARR's copies cover the dead one's.
+  const std::size_t want = testing::scenario().prefixes.size();
+  for (const bgp::RouterId id : bed->client_ids()) {
+    EXPECT_EQ(bed->speaker(id).loc_rib().size(), want) << "client " << id;
+  }
+
+  // After the restart the primary falls back (lowest id live again).
+  bed->run_until(injector.last_event_end() + sim::sec(10));
+  EXPECT_TRUE(dir.alive(primary));
+  EXPECT_EQ(dir.primary(0), primary);
+  EXPECT_EQ(dir.failovers(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ArrFailoverTest,
+                         ::testing::Values(ibgp::IbgpMode::kFullMesh,
+                                           ibgp::IbgpMode::kTbrr,
+                                           ibgp::IbgpMode::kAbrr,
+                                           ibgp::IbgpMode::kDual),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ibgp::IbgpMode::kFullMesh:
+                               return "FullMesh";
+                             case ibgp::IbgpMode::kTbrr:
+                               return "Tbrr";
+                             case ibgp::IbgpMode::kAbrr:
+                               return "Abrr";
+                             case ibgp::IbgpMode::kDual:
+                               return "Dual";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace abrr::fault

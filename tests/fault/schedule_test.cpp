@@ -1,0 +1,141 @@
+#include "fault/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace abrr::fault {
+namespace {
+
+using Link = std::pair<bgp::RouterId, bgp::RouterId>;
+
+const std::vector<bgp::RouterId> kRouters = {1, 2, 3, 10, 11};
+const std::vector<Link> kLinks = {{1, 10}, {1, 11}, {2, 10}, {2, 11}};
+
+TEST(FaultScheduleTest, ChaosIsDeterministicPerSeed) {
+  ChaosParams p;
+  p.events = 40;
+  sim::Rng a{123}, b{123}, c{124};
+  const auto sched_a = FaultSchedule::chaos(p, kRouters, kLinks, a);
+  const auto sched_b = FaultSchedule::chaos(p, kRouters, kLinks, b);
+  const auto sched_c = FaultSchedule::chaos(p, kRouters, kLinks, c);
+  EXPECT_EQ(sched_a.to_text(), sched_b.to_text());
+  EXPECT_NE(sched_a.to_text(), sched_c.to_text());
+  EXPECT_EQ(sched_a.size(), 40u);
+}
+
+TEST(FaultScheduleTest, ChaosRespectsBounds) {
+  ChaosParams p;
+  p.events = 100;
+  p.start = sim::sec(2);
+  p.horizon = sim::sec(20);
+  p.min_duration = sim::msec(100);
+  p.max_duration = sim::sec(1);
+  sim::Rng rng{9};
+  const auto sched = FaultSchedule::chaos(p, kRouters, kLinks, rng);
+  bool saw_crash = false, saw_link_fault = false;
+  for (const FaultEvent& ev : sched.events()) {
+    EXPECT_GE(ev.at, p.start);
+    EXPECT_LE(ev.at, p.horizon);
+    EXPECT_GE(ev.duration, p.min_duration);
+    EXPECT_LE(ev.duration, p.max_duration);
+    if (ev.kind == FaultKind::kRouterCrash) {
+      saw_crash = true;
+      EXPECT_NE(std::find(kRouters.begin(), kRouters.end(), ev.a),
+                kRouters.end());
+    } else {
+      saw_link_fault = true;
+      EXPECT_NE(std::find(kLinks.begin(), kLinks.end(), Link{ev.a, ev.b}),
+                kLinks.end());
+    }
+    if (ev.kind == FaultKind::kDelayBurst) {
+      EXPECT_GT(ev.extra_delay, 0);
+    }
+    if (ev.kind == FaultKind::kLossBurst) {
+      EXPECT_GT(ev.loss_prob, 0);
+    }
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_link_fault);
+}
+
+TEST(FaultScheduleTest, WeightsDisableKinds) {
+  ChaosParams p;
+  p.events = 50;
+  p.crash_weight = 0;
+  p.loss_weight = 0;
+  sim::Rng rng{5};
+  const auto sched = FaultSchedule::chaos(p, kRouters, kLinks, rng);
+  for (const FaultEvent& ev : sched.events()) {
+    EXPECT_NE(ev.kind, FaultKind::kRouterCrash);
+    EXPECT_NE(ev.kind, FaultKind::kLossBurst);
+  }
+}
+
+TEST(FaultScheduleTest, TextRoundTrips) {
+  ChaosParams p;
+  p.events = 25;
+  sim::Rng rng{77};
+  const auto sched = FaultSchedule::chaos(p, kRouters, kLinks, rng);
+  const std::string text = sched.to_text();
+  const auto parsed = FaultSchedule::parse(text);
+  ASSERT_EQ(parsed.size(), sched.size());
+  EXPECT_EQ(parsed.to_text(), text);
+  for (std::size_t i = 0; i < sched.size(); ++i) {
+    const FaultEvent& a = sched.events()[i];
+    const FaultEvent& b = parsed.events()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.at, b.at);
+    EXPECT_EQ(a.duration, b.duration);
+    EXPECT_EQ(a.a, b.a);
+    EXPECT_EQ(a.b, b.b);
+    EXPECT_EQ(a.extra_delay, b.extra_delay);
+    EXPECT_DOUBLE_EQ(a.loss_prob, b.loss_prob);
+  }
+}
+
+TEST(FaultScheduleTest, ParseSkipsCommentsAndBlanks) {
+  const auto sched = FaultSchedule::parse(
+      "# a comment\n"
+      "\n"
+      "crash 1000000 2000000 10 0 0 0\n"
+      "  # indented comment\n"
+      "loss 5000000 1000000 1 10 0 0.25\n");
+  ASSERT_EQ(sched.size(), 2u);
+  EXPECT_EQ(sched.events()[0].kind, FaultKind::kRouterCrash);
+  EXPECT_EQ(sched.events()[0].a, 10u);
+  EXPECT_EQ(sched.events()[1].kind, FaultKind::kLossBurst);
+  EXPECT_DOUBLE_EQ(sched.events()[1].loss_prob, 0.25);
+}
+
+TEST(FaultScheduleTest, ParseRejectsGarbage) {
+  EXPECT_THROW(FaultSchedule::parse("meteor 0 0 1 2 0 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("crash 0 0 1\n"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("loss 0 0 1 2 0 1.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("link -5 0 1 2 0 0\n"),
+               std::invalid_argument);
+}
+
+TEST(FaultScheduleTest, ChaosValidatesInputs) {
+  sim::Rng rng{1};
+  ChaosParams p;
+  p.horizon = p.start - 1;
+  EXPECT_THROW(FaultSchedule::chaos(p, kRouters, kLinks, rng),
+               std::invalid_argument);
+  ChaosParams q;
+  q.session_weight = q.crash_weight = q.link_weight = q.delay_weight =
+      q.loss_weight = 0;
+  EXPECT_THROW(FaultSchedule::chaos(q, kRouters, kLinks, rng),
+               std::invalid_argument);
+  ChaosParams r;  // crash events but no routers to crash
+  r.events = 200;
+  EXPECT_THROW(FaultSchedule::chaos(r, {}, kLinks, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abrr::fault

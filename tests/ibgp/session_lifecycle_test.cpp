@@ -130,5 +130,154 @@ TEST_F(SessionTest, SessionDownOnUnknownPeerIsHarmless) {
   EXPECT_TRUE(sched.run_to_quiescence(100000));
 }
 
+TEST_F(SessionTest, DoubleSessionDownIsIdempotent) {
+  at(1).inject_ebgp(kNbr, route({7018, 15169}));
+  sched.run_to_quiescence(100000);
+
+  at(2).session_down(10);
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  ASSERT_FALSE(at(2).peer_up(10));
+  const auto after_first = at(2).counters();
+  const std::size_t rib_after_first = at(2).rib_in_size();
+
+  // The second down must be a complete no-op: no new withdrawals, no
+  // decision churn, no messages.
+  at(2).session_down(10);
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  EXPECT_EQ(at(2).counters().best_changes, after_first.best_changes);
+  EXPECT_EQ(at(2).counters().updates_generated, after_first.updates_generated);
+  EXPECT_EQ(at(2).rib_in_size(), rib_after_first);
+
+  // And the session still recovers normally afterwards.
+  at(10).session_down(2);
+  at(10).session_up(2);
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  EXPECT_EQ(at(2).adj_rib_in().peer_size(10), 1u);
+  EXPECT_TRUE(at(2).peer_up(10));
+}
+
+TEST_F(SessionTest, SessionDownBeforeAnyTrafficIsSafe) {
+  // Down-before-up ordering: the peer never sent anything, so there is
+  // nothing to withdraw and no state to corrupt.
+  at(2).session_down(10);
+  at(2).session_down(10);
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  EXPECT_FALSE(at(2).peer_up(10));
+
+  // Traffic from the "down" peer re-establishes the session implicitly
+  // (receive-side auto-up), so the route still arrives via both ARRs.
+  at(1).inject_ebgp(kNbr, route({7018, 15169}));
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  EXPECT_TRUE(at(2).peer_up(10));
+  EXPECT_EQ(at(2).adj_rib_in().peer_size(10), 1u);
+  EXPECT_EQ(at(2).adj_rib_in().peer_size(11), 1u);
+  EXPECT_GE(at(2).counters().sessions_reestablished, 1u);
+}
+
+TEST_F(SessionTest, SessionUpOnAlreadyUpPeerDoesNotChurn) {
+  at(1).inject_ebgp(kNbr, route({7018, 15169}));
+  sched.run_to_quiescence(100000);
+  const auto before = at(2).counters();
+
+  at(10).session_up(2);  // redundant: session was never down
+  ASSERT_TRUE(sched.run_to_quiescence(100000));
+  // The replay re-sends the Adj-RIB-Out, but the content hashes match,
+  // so the client's RIB state must be unchanged.
+  EXPECT_EQ(at(2).counters().best_changes, before.best_changes);
+  EXPECT_EQ(at(2).adj_rib_in().peer_size(10), 1u);
+}
+
+// Hold-timer failure detection: peers discover a crashed router by
+// timeout, not by oracle notification.
+class HoldTimerTest : public ::testing::Test {
+ protected:
+  HoldTimerTest() : scheme(core::PartitionScheme::uniform(1)) {
+    for (const RouterId id : {1u, 2u}) add(id, {});
+    for (const RouterId id : {10u, 11u}) add(id, {0});
+    for (const RouterId c : {1u, 2u}) {
+      for (const RouterId a : {10u, 11u}) {
+        net.connect(c, a, sim::msec(2));
+        at(a).add_peer(PeerInfo{.id = c, .rr_client = true});
+        at(c).add_peer(PeerInfo{.id = a, .reflector_for = {0}});
+      }
+    }
+    for (auto& [id, s] : speakers) s->start();
+  }
+
+  void add(RouterId id, std::vector<ApId> managed) {
+    SpeakerConfig cfg;
+    cfg.id = id;
+    cfg.asn = 65000;
+    cfg.mode = IbgpMode::kAbrr;
+    cfg.ap_of = scheme.mapper();
+    cfg.managed_aps = managed;
+    cfg.data_plane = managed.empty();
+    cfg.mrai = 0;
+    cfg.proc_delay = sim::msec(1);
+    cfg.hold_time = sim::sec(3);
+    speakers.emplace(id, std::make_unique<Speaker>(cfg, sched, net));
+  }
+  Speaker& at(RouterId id) { return *speakers.at(id); }
+
+  core::PartitionScheme scheme;
+  sim::Scheduler sched;
+  sim::Rng rng{1};
+  net::Network net{sched, rng};
+  std::map<RouterId, std::unique_ptr<Speaker>> speakers;
+};
+
+TEST_F(HoldTimerTest, KeepalivesKeepQuietSessionsAlive) {
+  at(1).inject_ebgp(kNbr,
+                    RouteBuilder{kPfx}.as_path({7018, 15169}).build());
+  sched.run_until(sim::sec(30));  // 10x the hold time, zero route churn
+  for (const RouterId id : {1u, 2u, 10u, 11u}) {
+    EXPECT_EQ(at(id).counters().hold_expirations, 0u) << "router " << id;
+  }
+  EXPECT_GT(at(1).counters().keepalives_sent, 0u);
+  EXPECT_GT(at(10).counters().keepalives_received, 0u);
+  ASSERT_NE(at(2).loc_rib().best(kPfx), nullptr);
+}
+
+TEST_F(HoldTimerTest, CrashIsDiscoveredByHoldTimeout) {
+  at(1).inject_ebgp(kNbr,
+                    RouteBuilder{kPfx}.as_path({7018, 15169}).build());
+  sched.run_until(sim::sec(1));
+  ASSERT_EQ(at(2).adj_rib_in().peer_size(10), 1u);
+
+  at(10).crash();
+  net.set_endpoint_up(10, false);
+  sched.run_until(sim::sec(12));
+
+  // Every peer of 10 (the clients; ARRs of one AP do not peer) timed
+  // the session out on its own.
+  for (const RouterId id : {1u, 2u}) {
+    EXPECT_FALSE(at(id).peer_up(10)) << "router " << id;
+    EXPECT_GE(at(id).counters().hold_expirations, 1u) << "router " << id;
+  }
+  // The copy learned from ARR 10 is gone; redundancy keeps the route.
+  EXPECT_EQ(at(2).adj_rib_in().peer_size(10), 0u);
+  ASSERT_NE(at(2).loc_rib().best(kPfx), nullptr);
+  EXPECT_EQ(at(2).loc_rib().best(kPfx)->egress(), 1u);
+}
+
+TEST_F(HoldTimerTest, CrashLosesAllState) {
+  at(1).inject_ebgp(kNbr,
+                    RouteBuilder{kPfx}.as_path({7018, 15169}).build());
+  sched.run_until(sim::sec(1));
+  ASSERT_GT(at(10).rib_in_size(), 0u);
+
+  at(10).crash();
+  EXPECT_FALSE(at(10).alive());
+  EXPECT_EQ(at(10).rib_in_size(), 0u);
+  EXPECT_EQ(at(10).loc_rib().size(), 0u);
+  EXPECT_EQ(at(10).rib_out_size(), 0u);
+  at(10).crash();  // double crash is a no-op
+  EXPECT_FALSE(at(10).alive());
+
+  at(10).restart();
+  EXPECT_TRUE(at(10).alive());
+  EXPECT_EQ(at(10).rib_in_size(), 0u);  // restarts empty
+}
+
 }  // namespace
 }  // namespace abrr::ibgp
