@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
               "in-min", "in-avg", "in-max", "in-spread%", "out-min",
               "out-avg", "out-max", "out-spread%");
 
+  bench::MetricsSink sink{"ablation_ap_balancing", cfg.metrics_out};
   const auto run = [&](bool balanced) {
     auto options = bench::paper_options(ibgp::IbgpMode::kAbrr, 8, cfg.seed);
     options.balanced_aps = balanced;
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
       std::printf("%-10s DID NOT CONVERGE\n", balanced ? "balanced" : "uniform");
       return;
     }
+    sink.capture(balanced ? "balanced" : "uniform", *bed);
     const auto in = bed->rr_rib_in();
     const auto out = bed->rr_rib_out();
     const auto spread = [](const harness::Aggregate& a) {

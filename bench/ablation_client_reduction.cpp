@@ -59,6 +59,11 @@ int main(int argc, char** argv) {
   const auto eq_reduced =
       verify::compare_loc_ribs(*reduced, *mesh, prefixes);
 
+  bench::MetricsSink sink{"ablation_client_reduction", cfg.metrics_out};
+  sink.capture("full_set", *full);
+  sink.capture("reduced", *reduced);
+  sink.capture("full_mesh", *mesh);
+
   std::printf("# Ablation: §3.4 client storage reduction (%zu prefixes)\n\n",
               cfg.prefixes);
   std::printf("%-22s %18s %24s\n", "client storage", "RIB-In/client",

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
     double with_originator = 0;
     double with_bit = 0;
   };
+  bench::MetricsSink sink{"ablation_loop_prevention", cfg.metrics_out};
   const auto measure = [&](ibgp::IbgpMode mode) {
     auto options = bench::paper_options(mode, 8, cfg.seed);
     auto bed =
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
                         : 0.0);
       });
     }
+    sink.capture(mode == ibgp::IbgpMode::kAbrr ? "ABRR" : "TBRR", *bed);
     return s;
   };
 

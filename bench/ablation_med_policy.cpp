@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   std::printf("%-9s %-26s %-12s %10s\n", "scheme", "MED policy", "converged",
               "max-flips");
 
+  bench::MetricsSink sink{"ablation_med_policy", cfg.metrics_out};
   const auto run = [&](ibgp::IbgpMode mode, bool diverse_meds,
                        bool always_compare, const char* label) {
     sim::Rng rng{cfg.seed};
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
                                   bed->inject_fn()};
     regen.load_snapshot(0, sim::sec(10));
     const bool converged = bed->run_to_quiescence(4'000'000);
+    sink.capture(label, *bed);
     std::printf("%-9s %-26s %-12s %10zu\n",
                 mode == ibgp::IbgpMode::kTbrr ? "TBRR" : "ABRR", label,
                 converged ? "yes" : "NO (capped)", monitor.max_flips());

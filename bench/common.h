@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "harness/testbed.h"
 #include "topo/topology.h"
@@ -30,6 +32,9 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   double trace_seconds = 120.0;       // compressed two-week update feed
   double trace_events_per_second = 20.0;
+  /// When non-empty, the bench dumps each testbed's aggregated metrics
+  /// registry as a section of a JSON report here (see MetricsSink).
+  std::string metrics_out;
 
   static ExperimentConfig from_args(int argc, char** argv) {
     ExperimentConfig cfg;
@@ -47,14 +52,64 @@ struct ExperimentConfig {
         cfg.pops = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
       } else if (const char* v = num("--trace-seconds=")) {
         cfg.trace_seconds = std::strtod(v, nullptr);
+      } else if (const char* v = num("--metrics-out=")) {
+        cfg.metrics_out = v;
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
-            "flags: --prefixes=N --seed=N --pops=N --trace-seconds=S\n");
+            "flags: --prefixes=N --seed=N --pops=N --trace-seconds=S "
+            "--metrics-out=PATH\n");
         std::exit(0);
       }
     }
     return cfg;
   }
+};
+
+/// Collects the aggregated metrics-registry dump of every testbed a
+/// bench runs and writes one JSON report on destruction:
+///   {"bench": "...", "sections": [{"label": "...", "metrics": {...}}]}
+/// With an empty path every call is a no-op, so benches can capture
+/// unconditionally.
+class MetricsSink {
+ public:
+  MetricsSink(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
+  MetricsSink(const MetricsSink&) = delete;
+  MetricsSink& operator=(const MetricsSink&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Snapshots `bed`'s registry (counters/gauges summed over labels,
+  /// histograms merged) under `label`. Call right after the run whose
+  /// metrics the section should describe.
+  void capture(const std::string& label, const harness::Testbed& bed) {
+    if (!enabled()) return;
+    sections_.emplace_back(label, bed.metrics().to_json(/*aggregate=*/true));
+  }
+
+  ~MetricsSink() {
+    if (!enabled() || sections_.empty()) return;
+    FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"sections\": [\n", bench_.c_str());
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+      std::fprintf(f, "{\"label\": \"%s\", \"metrics\": %s}%s\n",
+                   sections_[i].first.c_str(), sections_[i].second.c_str(),
+                   i + 1 < sections_.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path_.c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 inline topo::Topology make_paper_topology(const ExperimentConfig& cfg,

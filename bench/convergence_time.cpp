@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   std::printf("%-10s %12s %12s %12s %12s\n", "scheme", "cold-p50/ms",
               "cold-p95/ms", "warm-p50/ms", "warm-p95/ms");
 
+  bench::MetricsSink sink{"convergence_time", cfg.metrics_out};
   const auto measure = [&](ibgp::IbgpMode mode, const char* label) {
     auto options = bench::paper_options(mode, 8, cfg.seed);
     auto bed =
@@ -149,6 +150,7 @@ int main(int argc, char** argv) {
     }
     churn_on = false;
     bed->run_to_quiescence(500'000'000);
+    sink.capture(label, *bed);
     std::printf("%-10s %12.0f %12.0f %12.0f %12.0f\n", label,
                 percentile(cold, 0.5), percentile(cold, 0.95),
                 percentile(warm, 0.5), percentile(warm, 0.95));

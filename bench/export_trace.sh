@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Replays the seeded observability fault drill and exports its
+# chrome://tracing timeline (plus the metrics dump and RIB time series).
+#
+# Usage: bench/export_trace.sh [build-dir] [--seed=N] [--out-dir=DIR]
+# Defaults: build dir ./build, seed 42, artifacts in ./obs-drill/.
+# Open the resulting trace.json via chrome://tracing or
+# https://ui.perfetto.dev. Same seed => bit-identical artifacts.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+build_dir="$repo_root/build"
+if [[ $# -gt 0 && "$1" != --* ]]; then
+  build_dir="$1"
+  shift
+fi
+
+seed=42
+out_dir="$repo_root/obs-drill"
+for arg in "$@"; do
+  case "$arg" in
+    --seed=*) seed="${arg#--seed=}" ;;
+    --out-dir=*) out_dir="${arg#--out-dir=}" ;;
+    *)
+      echo "error: unknown flag '$arg' (use --seed=N --out-dir=DIR)" >&2
+      exit 1
+      ;;
+  esac
+done
+
+drill_bin="$build_dir/bench/obs_drill"
+if [[ ! -d "$build_dir" ]]; then
+  echo "error: build dir '$build_dir' does not exist; build first:" >&2
+  echo "  cmake -B '$build_dir' -S '$repo_root' -DCMAKE_BUILD_TYPE=Release" >&2
+  echo "  cmake --build '$build_dir' --target obs_drill -j" >&2
+  exit 1
+fi
+if [[ ! -x "$drill_bin" ]]; then
+  echo "error: $drill_bin not found; build the obs_drill target first" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+"$drill_bin" --seed="$seed" --out-dir="$out_dir"
+echo "open $out_dir/trace.json in chrome://tracing (or ui.perfetto.dev)"

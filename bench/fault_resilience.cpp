@@ -57,7 +57,7 @@ CaseResult run_case(ibgp::IbgpMode mode, const std::string& scenario,
                     const topo::Topology& topology,
                     const trace::Workload& workload,
                     const std::vector<bgp::Ipv4Prefix>& prefixes,
-                    harness::Testbed& baseline) {
+                    harness::Testbed& baseline, MetricsSink& sink) {
   CaseResult r;
   r.mode = mode == ibgp::IbgpMode::kAbrr ? "abrr" : "tbrr";
   r.scenario = scenario;
@@ -139,6 +139,7 @@ CaseResult run_case(ibgp::IbgpMode mode, const std::string& scenario,
   r.fingerprint = fault::rib_fingerprint(bed);
   r.fullmesh_equivalent =
       verify::compare_loc_ribs(bed, baseline, prefixes).equivalent();
+  sink.capture(r.mode + "/" + r.scenario, bed);
   return r;
 }
 
@@ -223,10 +224,11 @@ int main(int argc, char** argv) {
   std::printf("fault_resilience: %zu prefixes, hold=%.0fms, outage=%.0fms\n",
               cfg.prefixes, sim::to_msec(kHold), sim::to_msec(kOutage));
   std::vector<CaseResult> results;
+  MetricsSink sink{"fault_resilience", cfg.metrics_out};
   for (const auto mode : {ibgp::IbgpMode::kAbrr, ibgp::IbgpMode::kTbrr}) {
     for (const std::string scenario : {"rr_crash", "border_crash"}) {
       results.push_back(run_case(mode, scenario, cfg, topology, workload,
-                                 prefixes, baseline));
+                                 prefixes, baseline, sink));
       print_row(results.back());
     }
   }

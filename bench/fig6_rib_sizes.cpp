@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
               "in-min", "in-avg", "in-max", "in-anl", "out-min", "out-avg",
               "out-max", "out-anl");
 
+  bench::MetricsSink sink{"fig6_rib_sizes", cfg.metrics_out};
   const auto run = [&](ibgp::IbgpMode mode, std::size_t aps,
                        const char* label) {
     auto options = bench::paper_options(mode, aps, cfg.seed);
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
       std::printf("%-14s DID NOT CONVERGE\n", label);
       return;
     }
+    sink.capture(label, *bed);
     const auto in = bed->rr_rib_in();
     const auto out = bed->rr_rib_out();
 

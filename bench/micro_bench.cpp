@@ -22,6 +22,8 @@
 #include "bgp/rib.h"
 #include "common.h"
 #include "igp/spf.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/random.h"
 #include "sim/scheduler.h"
 #include "topo/topology.h"
@@ -242,6 +244,46 @@ void BM_SchedulerThroughput(benchmark::State& state) {
                           1000);
 }
 BENCHMARK(BM_SchedulerThroughput);
+
+// Observability hot paths: these run inside every update receive /
+// decision / transmit, so the handle dereference + add must stay cheap
+// enough to leave enabled unconditionally.
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.counter(
+      "bm.counter", obs::Labels{{"speaker", "1"}, {"role", "rr"}});
+  for (auto _ : state) {
+    c->inc();
+    benchmark::DoNotOptimize(*c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.histogram("bm.hist", obs::size_buckets());
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h->record(v);
+    v = (v * 5 + 3) & 0x3ffff;  // spread across buckets
+    benchmark::DoNotOptimize(*h);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsTracerRecord(benchmark::State& state) {
+  sim::Scheduler sched;
+  obs::Tracer tracer{sched, /*capacity=*/1 << 12};
+  std::uint32_t actor = 0;
+  for (auto _ : state) {
+    tracer.record(obs::TraceEventKind::kUpdateRx, actor++, 7, 42);
+    benchmark::DoNotOptimize(tracer);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsTracerRecord);
 
 void BM_SpfTier1(benchmark::State& state) {
   sim::Rng rng{4};

@@ -1,16 +1,37 @@
 #!/usr/bin/env bash
 # Runs the micro-benchmarks (BENCH_micro.json) and the fault-resilience
-# experiment (BENCH_fault.json), writing both at the repo root.
+# experiment (BENCH_fault.json + BENCH_fault_metrics.json).
 #
-# Usage: bench/run_bench.sh [build-dir] [extra google-benchmark flags...]
-# The build dir defaults to ./build; build it first with:
+# Usage: bench/run_bench.sh [--out-dir=DIR] [build-dir] [extra google-benchmark flags...]
+# Reports land in --out-dir (default: the repo root). The build dir
+# defaults to ./build; build it first with:
 #   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
 # Skip the (slower) fault experiment with ABRR_SKIP_FAULT_BENCH=1.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+out_dir="$repo_root"
+if [[ $# -gt 0 && "$1" == --out-dir=* ]]; then
+  out_dir="${1#--out-dir=}"
+  shift
+fi
+if [[ ! -d "$out_dir" ]]; then
+  mkdir -p "$out_dir" || {
+    echo "error: cannot create output dir '$out_dir'" >&2
+    exit 1
+  }
+fi
+
 build_dir="${1:-$repo_root/build}"
 shift || true
+if [[ ! -d "$build_dir" ]]; then
+  echo "error: build dir '$build_dir' does not exist." >&2
+  echo "Build it first:" >&2
+  echo "  cmake -B '$build_dir' -S '$repo_root' -DCMAKE_BUILD_TYPE=Release" >&2
+  echo "  cmake --build '$build_dir' -j" >&2
+  exit 1
+fi
 
 bench_bin="$build_dir/bench/micro_bench"
 if [[ ! -x "$bench_bin" ]]; then
@@ -18,7 +39,7 @@ if [[ ! -x "$bench_bin" ]]; then
   exit 1
 fi
 
-out="$repo_root/BENCH_micro.json"
+out="$out_dir/BENCH_micro.json"
 "$bench_bin" \
   --benchmark_min_time=0.2 \
   --json_out="$out" \
@@ -33,5 +54,6 @@ if [[ "${ABRR_SKIP_FAULT_BENCH:-0}" != "1" ]]; then
   fi
   "$fault_bin" \
     --prefixes="${ABRR_FAULT_PREFIXES:-2000}" \
-    --json_out="$repo_root/BENCH_fault.json"
+    --json_out="$out_dir/BENCH_fault.json" \
+    --metrics-out="$out_dir/BENCH_fault_metrics.json"
 fi

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   std::printf("\n# measured on the %zu-router testbed (8 APs / %u"
               " clusters):\n",
               topology.clients.size(), cfg.pops);
+  bench::MetricsSink sink{"t33_peering_sessions", cfg.metrics_out};
   const auto measure = [&](ibgp::IbgpMode mode, std::size_t aps,
                            const char* label) {
     auto options = bench::paper_options(mode, aps, cfg.seed);
@@ -75,6 +76,7 @@ int main(int argc, char** argv) {
                 label, rr_avg, rr_max,
                 cl_sum / static_cast<double>(bed.client_ids().size()),
                 bed.session_count());
+    sink.capture(label, bed);
   };
   measure(ibgp::IbgpMode::kAbrr, 8, "ABRR");
   measure(ibgp::IbgpMode::kTbrr, cfg.pops, "TBRR");

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   std::printf("# prefixes=%zu clients=%zu trace_events=%zu\n\n",
               cfg.prefixes, topology.clients.size(), trace.events().size());
 
+  bench::MetricsSink sink{"t42_client_updates", cfg.metrics_out};
   const auto run = [&](ibgp::IbgpMode mode, std::size_t aps) -> double {
     auto options = bench::paper_options(mode, aps, cfg.seed);
     // §4.2's regime: an RR's input batch window exceeds the spread of
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
     bed->reset_counters();
     regen.play(trace, bed->scheduler().now());
     bed->run_to_quiescence(500'000'000);
+    sink.capture(mode == ibgp::IbgpMode::kAbrr ? "ABRR" : "TBRR", *bed);
     return bed->client_counters().avg_received();
   };
 

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     double gen_clients = 0;
     double gen_rrs = 0;
   };
+  bench::MetricsSink sink{"t42_transmitted_updates", cfg.metrics_out};
   const auto run = [&](ibgp::IbgpMode mode) -> Result {
     auto options = bench::paper_options(mode, 27, cfg.seed);
     // §4: the paper's feed ran up to 20x realtime with <3% change in
@@ -82,6 +83,7 @@ int main(int argc, char** argv) {
     r.peers_per_rr = peers / static_cast<double>(bed->rr_ids().size());
     r.gen_clients /= static_cast<double>(bed->rr_ids().size());
     r.gen_rrs /= static_cast<double>(bed->rr_ids().size());
+    sink.capture(mode == ibgp::IbgpMode::kAbrr ? "ABRR" : "TBRR", *bed);
     return r;
   };
 

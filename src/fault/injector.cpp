@@ -19,7 +19,9 @@ std::uint64_t channel_drops(net::Network& net, bgp::RouterId a,
 
 FaultInjector::FaultInjector(harness::Testbed& testbed,
                              FaultSchedule schedule)
-    : testbed_(&testbed), schedule_(std::move(schedule)) {}
+    : testbed_(&testbed),
+      schedule_(std::move(schedule)),
+      tracer_(testbed.tracer()) {}
 
 sim::Time FaultInjector::last_event_end() const {
   sim::Time end = 0;
@@ -40,6 +42,10 @@ void FaultInjector::arm() {
 
 void FaultInjector::fire(const FaultEvent& ev) {
   ++counters_.events_fired;
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::TraceEventKind::kFaultInject, ev.a, ev.b,
+                    static_cast<std::uint64_t>(ev.kind));
+  }
   auto& sched = testbed_->scheduler();
   switch (ev.kind) {
     case FaultKind::kSessionReset: {
@@ -158,6 +164,9 @@ void FaultInjector::resync_session(bgp::RouterId a, bgp::RouterId b) {
   auto& sb = testbed_->speaker(b);
   if (!sa.alive() || !sb.alive()) return;  // restart() will handle it
   ++counters_.repairs;
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::TraceEventKind::kFaultRepair, a, b);
+  }
   sa.session_down(b);
   sb.session_down(a);
   sa.session_up(b);

@@ -9,6 +9,7 @@
 
 #include "fault/schedule.h"
 #include "harness/testbed.h"
+#include "obs/tracer.h"
 #include "trace/regenerator.h"
 
 namespace abrr::fault {
@@ -49,6 +50,11 @@ class FaultInjector {
   /// control-plane boxes like ARRs need none).
   void set_resync(ResyncFn resync) { resync_ = std::move(resync); }
 
+  /// Records kFaultInject / kFaultRepair trace events (the drill
+  /// timeline's anchors). Null disables; the tracer must outlive the
+  /// injector. Defaults to the testbed's tracer, when it has one.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Schedules every event of the schedule on the testbed's clock.
   /// Call once, before running the simulation past the first event.
   void arm();
@@ -75,6 +81,7 @@ class FaultInjector {
   FaultSchedule schedule_;
   ResyncFn resync_;
   InjectorCounters counters_;
+  obs::Tracer* tracer_ = nullptr;
   bool armed_ = false;
 };
 

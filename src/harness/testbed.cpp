@@ -11,7 +11,10 @@ Testbed::Testbed(topo::Topology topology, const TestbedOptions& options,
     : topology_(std::move(topology)),
       options_(options),
       rng_(options.seed),
-      network_(scheduler_, rng_) {
+      network_(scheduler_, rng_),
+      obs_(std::make_unique<obs::Obs>(scheduler_, options.obs)) {
+  network_.set_metrics(&obs_->metrics());
+  network_.set_tracer(obs_->tracer());
   if (options_.use_prefix_index) {
     prefix_index_ = std::make_shared<bgp::PrefixIndex>();
     for (const Ipv4Prefix& p : prefixes) prefix_index_->add(p);
@@ -38,6 +41,46 @@ Testbed::Testbed(topo::Topology topology, const TestbedOptions& options,
     speaker->set_igp(spf_->distance_fn(id));
     speaker->start();
   }
+
+  if (obs_->enabled()) start_sampler();
+}
+
+void Testbed::start_sampler() {
+  auto& m = obs_->metrics();
+  obs::Gauge* loc = m.gauge("rib.loc_total");
+  obs::Gauge* adj_in = m.gauge("rib.adj_in_total");
+  obs::Gauge* adj_out = m.gauge("rib.adj_out_total");
+  obs::Gauge* queued = m.gauge("queue.input_total");
+  obs::Gauge* sessions = m.gauge("net.sessions");
+  obs::Gauge* alive = m.gauge("speakers.alive");
+  obs::Sampler& sampler = *obs_->sampler();
+  // The refresh recomputes every gauge from live state right before each
+  // sample; iteration over all_ids_ keeps it deterministic (not that it
+  // matters for sums, but it keeps the callback boring).
+  sampler.set_refresh([this, loc, adj_in, adj_out, queued, sessions, alive] {
+    double l = 0, ai = 0, ao = 0, q = 0, up = 0;
+    for (const RouterId id : all_ids_) {
+      const auto& sp = *speakers_.at(id);
+      l += static_cast<double>(sp.loc_rib().size());
+      ai += static_cast<double>(sp.rib_in_size());
+      ao += static_cast<double>(sp.rib_out_size());
+      q += static_cast<double>(sp.input_queue_size());
+      if (sp.alive()) up += 1;
+    }
+    loc->set(l);
+    adj_in->set(ai);
+    adj_out->set(ao);
+    queued->set(q);
+    sessions->set(static_cast<double>(network_.session_count()));
+    alive->set(up);
+  });
+  sampler.track("loc_rib", loc);
+  sampler.track("adj_rib_in", adj_in);
+  sampler.track("adj_rib_out", adj_out);
+  sampler.track("input_queue", queued);
+  sampler.track("sessions", sessions);
+  sampler.track("speakers_alive", alive);
+  sampler.start();
 }
 
 ibgp::Speaker& Testbed::make_speaker(ibgp::SpeakerConfig cfg) {
@@ -47,7 +90,9 @@ ibgp::Speaker& Testbed::make_speaker(ibgp::SpeakerConfig cfg) {
   cfg.proc_per_update = options_.proc_per_update;
   cfg.abrr_force_client_reduction = options_.abrr_force_client_reduction;
   cfg.hold_time = options_.hold_time;
-  auto speaker = std::make_unique<ibgp::Speaker>(cfg, scheduler_, network_);
+  auto speaker = std::make_unique<ibgp::Speaker>(cfg, scheduler_, network_,
+                                                 &obs_->metrics());
+  speaker->set_tracer(obs_->tracer());
   if (prefix_index_) speaker->set_prefix_index(prefix_index_);
   auto& ref = *speaker;
   speakers_.emplace(cfg.id, std::move(speaker));
@@ -268,6 +313,7 @@ void Testbed::reset_counters() {
   for (const auto& [id, speaker] : speakers_) {
     baseline_[id] = speaker->counters();
   }
+  counter_baseline_ = obs_->metrics().counter_snapshot();
 }
 
 ibgp::SpeakerCounters Testbed::delta_counters(RouterId id) const {
@@ -285,6 +331,7 @@ ibgp::SpeakerCounters Testbed::delta_counters(RouterId id) const {
   now.routes_transmitted -= base.routes_transmitted;
   now.loops_suppressed -= base.loops_suppressed;
   now.misdirected -= base.misdirected;
+  now.ebgp_updates_sent -= base.ebgp_updates_sent;
   now.best_changes -= base.best_changes;
   now.keepalives_sent -= base.keepalives_sent;
   now.keepalives_received -= base.keepalives_received;
@@ -332,30 +379,29 @@ Aggregate Testbed::rr_rib_out() const {
   return aggregate(v);
 }
 
-CounterTotals Testbed::rr_counters() const {
-  CounterTotals t;
-  for (const RouterId id : rr_ids_) {
-    const auto c = delta_counters(id);
-    t.received += c.updates_received;
-    t.generated += c.updates_generated;
-    t.transmitted += c.updates_transmitted;
-    t.bytes += c.bytes_transmitted;
-    ++t.speakers;
-  }
+RoleTotals Testbed::role_totals(const obs::Labels& filter,
+                                std::size_t speakers) const {
+  const auto& m = obs_->metrics();
+  const obs::CounterSnapshot* base =
+      counter_baseline_.empty() ? nullptr : &counter_baseline_;
+  RoleTotals t;
+  t.received = m.sum_counters("speaker.updates_received", filter, base);
+  t.generated = m.sum_counters("speaker.updates_generated", filter, base);
+  t.transmitted = m.sum_counters("speaker.updates_transmitted", filter, base);
+  t.bytes = m.sum_counters("speaker.bytes_transmitted", filter, base);
+  t.speakers = speakers;
   return t;
 }
 
-CounterTotals Testbed::client_counters() const {
-  CounterTotals t;
-  for (const RouterId id : client_ids_) {
-    const auto c = delta_counters(id);
-    t.received += c.updates_received;
-    t.generated += c.updates_generated;
-    t.transmitted += c.updates_transmitted;
-    t.bytes += c.bytes_transmitted;
-    ++t.speakers;
-  }
-  return t;
+RoleTotals Testbed::rr_counters() const {
+  return role_totals(obs::Labels{{"role", "rr"}}, rr_ids_.size());
+}
+
+RoleTotals Testbed::client_counters() const {
+  // Every data-plane client carries role=client (RR boxes are pure
+  // control plane in this harness), so the label filter matches
+  // client_ids_ exactly.
+  return role_totals(obs::Labels{{"role", "client"}}, client_ids_.size());
 }
 
 }  // namespace abrr::harness

@@ -13,6 +13,7 @@
 #include "ibgp/speaker.h"
 #include "igp/spf.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "sim/random.h"
 #include "sim/scheduler.h"
 #include "topo/topology.h"
@@ -50,6 +51,11 @@ struct TestbedOptions {
   /// 0 disables timers entirely — peers only go down via explicit
   /// session_down — preserving the fault-free behavior bit for bit.
   sim::Time hold_time = 0;
+  /// Observability. The metrics registry always exists (counters are the
+  /// single source of truth either way); `obs.enabled` additionally
+  /// attaches the event tracer and starts the virtual-time RIB sampler.
+  /// Disabled runs are bit-identical to pre-observability runs.
+  obs::ObsOptions obs{};
 };
 
 /// Aggregate over a set of speakers (Figure 6's min/avg/max bars).
@@ -59,8 +65,11 @@ struct Aggregate {
   double avg = 0;
 };
 
-/// Counter sums used by Figure 7 and §4.2.
-struct CounterTotals {
+/// Counter sums used by Figure 7 and §4.2, computed by label-filtered
+/// sums over the shared metrics registry (minus the reset_counters()
+/// snapshot) — the registry cells are the single source of truth; there
+/// is no parallel per-speaker accumulation path anymore.
+struct RoleTotals {
   std::uint64_t received = 0;
   std::uint64_t generated = 0;
   std::uint64_t transmitted = 0;
@@ -96,6 +105,15 @@ class Testbed {
 
   sim::Scheduler& scheduler() { return scheduler_; }
   net::Network& network() { return network_; }
+  /// The observability bundle (registry always live; tracer/sampler only
+  /// when TestbedOptions::obs.enabled).
+  obs::Obs& obs() { return *obs_; }
+  const obs::Obs& obs() const { return *obs_; }
+  obs::MetricsRegistry& metrics() { return obs_->metrics(); }
+  const obs::MetricsRegistry& metrics() const { return obs_->metrics(); }
+  /// nullptr when observability is disabled.
+  obs::Tracer* tracer() { return obs_->tracer(); }
+  obs::Sampler* sampler() { return obs_->sampler(); }
   igp::SpfCache& spf() { return *spf_; }
   const topo::Topology& topology() const { return topology_; }
   const core::PartitionScheme* partition() const {
@@ -131,8 +149,8 @@ class Testbed {
 
   Aggregate rr_rib_in() const;
   Aggregate rr_rib_out() const;
-  CounterTotals rr_counters() const;
-  CounterTotals client_counters() const;
+  RoleTotals rr_counters() const;
+  RoleTotals client_counters() const;
 
   std::size_t session_count() const { return network_.session_count(); }
 
@@ -153,12 +171,18 @@ class Testbed {
   void wire_abrr(bool dual, std::span<const Ipv4Prefix> prefixes);
   void connect(RouterId a, RouterId b);
   ibgp::Speaker& make_speaker(ibgp::SpeakerConfig cfg);
+  /// Registers the sampler's gauges and its refresh callback, then takes
+  /// the first sample (obs-enabled testbeds only).
+  void start_sampler();
+  RoleTotals role_totals(const obs::Labels& filter,
+                         std::size_t speakers) const;
 
   topo::Topology topology_;
   TestbedOptions options_;
   sim::Scheduler scheduler_;
   sim::Rng rng_;
   net::Network network_;
+  std::unique_ptr<obs::Obs> obs_;
   std::unique_ptr<igp::SpfCache> spf_;
   std::optional<core::PartitionScheme> partition_;
   ibgp::ApOfFn ap_of_;
@@ -172,8 +196,10 @@ class Testbed {
   std::unordered_map<RouterId, ibgp::ApId> arr_ap_;
   core::ArrDirectory arr_directory_;
 
-  // Counter snapshots for reset_counters().
+  // Counter snapshots for reset_counters(): a per-speaker view baseline
+  // (delta_counters) and the dense registry snapshot (role_totals).
   std::unordered_map<RouterId, ibgp::SpeakerCounters> baseline_;
+  obs::CounterSnapshot counter_baseline_;
 
  public:
   /// Counters minus the last reset_counters() snapshot.

@@ -32,8 +32,11 @@ void dedup_by_path_id(std::vector<Route>& routes) {
 }  // namespace
 
 Speaker::Speaker(SpeakerConfig config, sim::Scheduler& scheduler,
-                 net::Network& network)
-    : config_(std::move(config)), scheduler_(&scheduler), network_(&network) {
+                 net::Network& network, obs::MetricsRegistry* metrics)
+    : config_(std::move(config)),
+      scheduler_(&scheduler),
+      network_(&network),
+      metrics_(metrics) {
   if (config_.id == bgp::kNoRouter) {
     throw std::invalid_argument{"speaker needs a non-zero id"};
   }
@@ -42,6 +45,60 @@ Speaker::Speaker(SpeakerConfig config, sim::Scheduler& scheduler,
       !config_.ap_of) {
     throw std::invalid_argument{"ABRR speaker needs an ap_of mapping"};
   }
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  register_metrics();
+}
+
+void Speaker::register_metrics() {
+  const obs::Labels labels{{"speaker", std::to_string(config_.id)},
+                           {"role", is_rr() ? "rr" : "client"}};
+  const auto c = [&](std::string_view name) {
+    return metrics_->counter(name, labels);
+  };
+  c_.updates_received = c("speaker.updates_received");
+  c_.routes_received = c("speaker.routes_received");
+  c_.updates_generated = c("speaker.updates_generated");
+  c_.generated_to_clients = c("speaker.generated_to_clients");
+  c_.generated_to_rrs = c("speaker.generated_to_rrs");
+  c_.updates_transmitted = c("speaker.updates_transmitted");
+  c_.bytes_transmitted = c("speaker.bytes_transmitted");
+  c_.routes_transmitted = c("speaker.routes_transmitted");
+  c_.loops_suppressed = c("speaker.loops_suppressed");
+  c_.misdirected = c("speaker.misdirected");
+  c_.ebgp_updates_sent = c("speaker.ebgp_updates_sent");
+  c_.best_changes = c("speaker.best_changes");
+  c_.keepalives_sent = c("speaker.keepalives_sent");
+  c_.keepalives_received = c("speaker.keepalives_received");
+  c_.hold_expirations = c("speaker.hold_expirations");
+  c_.sessions_reestablished = c("speaker.sessions_reestablished");
+  c_.update_routes =
+      metrics_->histogram("speaker.update_routes", obs::size_buckets());
+  c_.drain_batch =
+      metrics_->histogram("speaker.drain_batch", obs::size_buckets());
+}
+
+SpeakerCounters Speaker::counters() const {
+  SpeakerCounters v;
+  v.updates_received = c_.updates_received->value();
+  v.routes_received = c_.routes_received->value();
+  v.updates_generated = c_.updates_generated->value();
+  v.generated_to_clients = c_.generated_to_clients->value();
+  v.generated_to_rrs = c_.generated_to_rrs->value();
+  v.updates_transmitted = c_.updates_transmitted->value();
+  v.bytes_transmitted = c_.bytes_transmitted->value();
+  v.routes_transmitted = c_.routes_transmitted->value();
+  v.loops_suppressed = c_.loops_suppressed->value();
+  v.misdirected = c_.misdirected->value();
+  v.ebgp_updates_sent = c_.ebgp_updates_sent->value();
+  v.best_changes = c_.best_changes->value();
+  v.keepalives_sent = c_.keepalives_sent->value();
+  v.keepalives_received = c_.keepalives_received->value();
+  v.hold_expirations = c_.hold_expirations->value();
+  v.sessions_reestablished = c_.sessions_reestablished->value();
+  return v;
 }
 
 void Speaker::add_peer(const PeerInfo& peer) {
@@ -119,7 +176,10 @@ void Speaker::keepalive_tick() {
     PeerState& ps = peers_.at(id);
     if (!ps.up) continue;
     if (now - ps.last_heard >= config_.hold_time) {
-      ++counters_.hold_expirations;
+      c_.hold_expirations->inc();
+      if (tracer_ != nullptr) {
+        tracer_->record(obs::TraceEventKind::kHoldExpiry, config_.id, id);
+      }
       session_down(id);
     }
   }
@@ -128,7 +188,7 @@ void Speaker::keepalive_tick() {
     if (!peers_.at(id).up) continue;
     bgp::UpdateMessage msg;
     msg.keepalive = true;
-    ++counters_.keepalives_sent;
+    c_.keepalives_sent->inc();
     network_->send(config_.id, id, std::move(msg));
   }
   keepalive_armed_ = true;
@@ -144,16 +204,21 @@ void Speaker::receive(RouterId from, const bgp::UpdateMessage& msg) {
     // Traffic from a peer we consider down proves the transport works:
     // treat it as session (re-)establishment and resync toward it.
     if (!pit->second.up) {
-      ++counters_.sessions_reestablished;
+      c_.sessions_reestablished->inc();
       session_up(from);
     }
   }
   if (msg.keepalive) {
-    ++counters_.keepalives_received;
+    c_.keepalives_received->inc();
     return;
   }
-  ++counters_.updates_received;
-  counters_.routes_received += msg.announce.size();
+  c_.updates_received->inc();
+  c_.routes_received->inc(msg.announce.size());
+  c_.update_routes->record(static_cast<double>(msg.announce.size()));
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::TraceEventKind::kUpdateRx, config_.id, from,
+                    msg.announce.size());
+  }
   enqueue(Incoming{from, msg, /*ebgp=*/false, /*withdraw_ebgp=*/false});
 }
 
@@ -189,6 +254,11 @@ void Speaker::drain_input() {
   scratch_dirty_.erase(
       std::unique(scratch_dirty_.begin(), scratch_dirty_.end()),
       scratch_dirty_.end());
+  c_.drain_batch->record(static_cast<double>(scratch_dirty_.size()));
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::TraceEventKind::kDecision, config_.id, 0,
+                    scratch_dirty_.size());
+  }
   for (const Ipv4Prefix& prefix : scratch_dirty_) run_pipeline(prefix);
 }
 
@@ -264,7 +334,7 @@ void Speaker::apply(const Incoming& incoming, std::vector<Ipv4Prefix>& dirty) {
     r.learned_from = incoming.from;
     r.via = bgp::LearnedVia::kIbgp;
     if (!accept_route(r, &peer)) {
-      ++counters_.loops_suppressed;
+      c_.loops_suppressed->inc();
       continue;
     }
     received.push_back(std::move(r));
@@ -301,7 +371,7 @@ void Speaker::apply(const Incoming& incoming, std::vector<Ipv4Prefix>& dirty) {
     // A client sent us a route outside our Address Partitions: a
     // misconfiguration (§2.3.2). Never absorb it into the reflection
     // state.
-    ++counters_.misdirected;
+    c_.misdirected->inc();
     return;
   }
 
@@ -315,7 +385,7 @@ void Speaker::apply(const Incoming& incoming, std::vector<Ipv4Prefix>& dirty) {
     // reflect_abrr); surface the event for operators.
     for (const Route& r : received) {
       if (r.attrs->has_ext_community(bgp::kAbrrReflectedCommunity)) {
-        ++counters_.loops_suppressed;
+        c_.loops_suppressed->inc();
       }
     }
   }
@@ -362,7 +432,7 @@ void Speaker::decide_local(const Ipv4Prefix& prefix,
     changed = loc_rib_.remove(prefix);
   }
   if (!changed) return;
-  ++counters_.best_changes;
+  c_.best_changes->inc();
   if (best_change_hook_) best_change_hook_(prefix, best);
   if (config_.data_plane) {
     export_own_best(prefix, best);
@@ -391,7 +461,7 @@ void Speaker::export_ebgp(const Ipv4Prefix& prefix, const Route* best) {
         std::uint64_t& last = state.advertised_flat[*pid];
         if (h == last) continue;
         last = h;
-        ++counters_.ebgp_updates_sent;
+        c_.ebgp_updates_sent->inc();
         if (ebgp_send_hook_) ebgp_send_hook_(neighbor, prefix, out);
         continue;
       }
@@ -399,7 +469,7 @@ void Speaker::export_ebgp(const Ipv4Prefix& prefix, const Route* best) {
     auto& last = state.advertised[prefix];
     if (h == last) continue;
     if (h == 0) state.advertised.erase(prefix); else last = h;
-    ++counters_.ebgp_updates_sent;
+    c_.ebgp_updates_sent->inc();
     if (ebgp_send_hook_) ebgp_send_hook_(neighbor, prefix, out);
   }
 }
@@ -435,6 +505,9 @@ void Speaker::session_down(RouterId peer) {
     // already purged everything.
     if (!ps.up) return;
     ps.up = false;
+    if (tracer_ != nullptr) {
+      tracer_->record(obs::TraceEventKind::kSessionDown, config_.id, peer);
+    }
     reset_peer_tx_state(ps);
     // The connection reset loses whatever the transport still held.
     if (network_->connected(config_.id, peer)) {
@@ -451,6 +524,9 @@ void Speaker::session_up(RouterId peer) {
   if (pit == peers_.end()) return;
   pit->second.up = true;
   pit->second.last_heard = scheduler_->now();
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::TraceEventKind::kSessionUp, config_.id, peer);
+  }
   for (const auto& [key, g] : groups_) {
     if (std::find(g.members.begin(), g.members.end(), peer) ==
         g.members.end()) {
@@ -471,6 +547,9 @@ bool Speaker::peer_up(RouterId peer) const {
 void Speaker::crash() {
   if (!alive_) return;
   alive_ = false;
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::TraceEventKind::kCrash, config_.id);
+  }
   if (keepalive_armed_) {
     scheduler_->cancel(keepalive_timer_);
     keepalive_armed_ = false;
@@ -501,6 +580,9 @@ void Speaker::crash() {
 void Speaker::restart() {
   if (alive_) return;
   alive_ = true;
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::TraceEventKind::kRestart, config_.id);
+  }
   // Sessions stay down until re-established; hold/keepalive processing
   // resumes immediately.
   if (config_.hold_time > 0 && !keepalive_armed_) {
@@ -688,11 +770,11 @@ void Speaker::set_group_routes(int key, const Ipv4Prefix& prefix,
   OutGroup& g = group(key);
   const auto msg = g.rib.set(prefix, std::move(routes), /*full_set=*/true);
   if (!msg) return;
-  ++counters_.updates_generated;
+  c_.updates_generated->inc();
   if (key == kGroupClients || (key >= 0 && key % 2 == 0)) {
-    ++counters_.generated_to_clients;  // reflections toward clients
+    c_.generated_to_clients->inc();  // reflections toward clients
   } else if (key == kGroupRrPeers) {
-    ++counters_.generated_to_rrs;
+    c_.generated_to_rrs->inc();
   }
   for (const RouterId member : g.members) {
     schedule_send(member, key, prefix);
@@ -772,9 +854,13 @@ void Speaker::transmit(PeerState& ps, int key, const Ipv4Prefix& prefix) {
   msg.full_set = true;
   msg.announce.reserve(scratch_target_.size());
   for (const Route* r : scratch_target_) msg.announce.push_back(*r);
-  ++counters_.updates_transmitted;
-  counters_.routes_transmitted += msg.announce.size();
-  counters_.bytes_transmitted += msg.wire_size();
+  c_.updates_transmitted->inc();
+  c_.routes_transmitted->inc(msg.announce.size());
+  c_.bytes_transmitted->inc(msg.wire_size());
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::TraceEventKind::kUpdateTx, config_.id, ps.info.id,
+                    msg.announce.size());
+  }
   network_->send(config_.id, ps.info.id, std::move(msg));
 }
 

@@ -28,6 +28,8 @@
 #include "bgp/update.h"
 #include "ibgp/ebgp_export.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/scheduler.h"
 
 namespace abrr::ibgp {
@@ -117,6 +119,11 @@ struct SpeakerConfig {
 };
 
 /// Monotonic per-speaker counters (the paper's §4.2 metrics).
+///
+/// This is a point-in-time VIEW: the live cells are `speaker.<field>`
+/// counters in the speaker's MetricsRegistry (labelled with `speaker=`
+/// and `role=`), and Speaker::counters() materializes them here so
+/// existing field-by-field consumers keep working.
 struct SpeakerCounters {
   std::uint64_t updates_received = 0;     // messages received
   std::uint64_t routes_received = 0;      // routes inside those messages
@@ -142,8 +149,12 @@ struct SpeakerCounters {
 /// A BGP speaker attached to a Network and a Scheduler.
 class Speaker {
  public:
+  /// `metrics`, when given, must outlive the speaker; the testbed passes
+  /// its shared registry so per-speaker counters can be summed and
+  /// snapshotted centrally. When null the speaker owns a private
+  /// registry, so standalone construction (unit tests) keeps working.
   Speaker(SpeakerConfig config, sim::Scheduler& scheduler,
-          net::Network& network);
+          net::Network& network, obs::MetricsRegistry* metrics = nullptr);
 
   Speaker(const Speaker&) = delete;
   Speaker& operator=(const Speaker&) = delete;
@@ -159,6 +170,11 @@ class Speaker {
 
   /// IGP distance oracle for decision step 6 (default: flat metric 0).
   void set_igp(bgp::IgpDistanceFn igp) { igp_ = std::move(igp); }
+
+  /// Optional event tracer (update rx/tx, decision batches, session
+  /// transitions, crash/restart). Null disables tracing; the tracer must
+  /// outlive the speaker. Recording is passive — no behaviour change.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Import policy applied to eBGP routes before they enter the RIB
   /// (returns nullopt to reject). Policies live at clients (§2.1).
@@ -267,7 +283,13 @@ class Speaker {
   std::size_t rib_in_size() const { return adj_rib_in_.size(); }
   /// Total Adj-RIB-Out entries over all peer groups (§3.2 metric).
   std::size_t rib_out_size() const;
-  const SpeakerCounters& counters() const { return counters_; }
+  /// Received updates queued but not yet drained (sampler gauge).
+  std::size_t input_queue_size() const { return input_queue_.size(); }
+  /// Point-in-time view of the registry-backed per-speaker counters.
+  SpeakerCounters counters() const;
+  /// The registry holding this speaker's counter cells (the testbed's
+  /// shared registry, or the speaker's own when none was passed in).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
   std::size_t peer_count() const { return peers_.size(); }
 
   /// The advertised set of one peer group (testing); group keys are
@@ -373,6 +395,10 @@ class Speaker {
   bool manages_ap(ApId ap) const;
   bool manages_prefix(const Ipv4Prefix& prefix) const;
 
+  /// Registers the `speaker.*` counter cells and histograms with
+  /// `metrics_` and caches the hot-path handles in `c_`.
+  void register_metrics();
+
   SpeakerConfig config_;
   sim::Scheduler* scheduler_;
   net::Network* network_;
@@ -428,7 +454,36 @@ class Speaker {
   std::vector<const Route*> scratch_target_;
   std::vector<Ipv4Prefix> scratch_dirty_;
 
-  SpeakerCounters counters_;
+  // Hot-path metric handles: looked up once at construction, incremented
+  // directly (one add through a pointer) everywhere the old
+  // SpeakerCounters fields were bumped. The cells live in *metrics_.
+  struct CounterHandles {
+    obs::Counter* updates_received = nullptr;
+    obs::Counter* routes_received = nullptr;
+    obs::Counter* updates_generated = nullptr;
+    obs::Counter* generated_to_clients = nullptr;
+    obs::Counter* generated_to_rrs = nullptr;
+    obs::Counter* updates_transmitted = nullptr;
+    obs::Counter* bytes_transmitted = nullptr;
+    obs::Counter* routes_transmitted = nullptr;
+    obs::Counter* loops_suppressed = nullptr;
+    obs::Counter* misdirected = nullptr;
+    obs::Counter* ebgp_updates_sent = nullptr;
+    obs::Counter* best_changes = nullptr;
+    obs::Counter* keepalives_sent = nullptr;
+    obs::Counter* keepalives_received = nullptr;
+    obs::Counter* hold_expirations = nullptr;
+    obs::Counter* sessions_reestablished = nullptr;
+    // Unlabelled, so every speaker on a shared registry feeds the same
+    // distribution.
+    obs::Histogram* update_routes = nullptr;  // routes per received update
+    obs::Histogram* drain_batch = nullptr;    // dirty prefixes per drain
+  };
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  CounterHandles c_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace abrr::ibgp

@@ -6,6 +6,20 @@
 
 namespace abrr::net {
 
+void Network::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_messages_ = nullptr;
+    m_bytes_ = nullptr;
+    m_dropped_ = nullptr;
+    m_msg_bytes_ = nullptr;
+    return;
+  }
+  m_messages_ = metrics->counter("net.messages");
+  m_bytes_ = metrics->counter("net.bytes");
+  m_dropped_ = metrics->counter("net.dropped");
+  m_msg_bytes_ = metrics->histogram("net.msg_bytes", obs::size_buckets());
+}
+
 void Network::register_endpoint(RouterId id, Receiver receiver) {
   if (!receiver) throw std::invalid_argument{"register_endpoint: empty"};
   endpoints_[id] = std::move(receiver);
@@ -74,6 +88,10 @@ void Network::send(RouterId from, RouterId to, bgp::UpdateMessage msg) {
     // The destination's TCP stack died with it; nothing retransmits.
     ++ch.dropped;
     ++total_dropped_;
+    if (m_dropped_ != nullptr) m_dropped_->inc();
+    if (tracer_ != nullptr) {
+      tracer_->record(obs::TraceEventKind::kMsgDrop, from, to, 1);
+    }
     return;
   }
   if (ch.loss_prob > 0 && rng_->chance(ch.loss_prob)) {
@@ -81,6 +99,10 @@ void Network::send(RouterId from, RouterId to, bgp::UpdateMessage msg) {
     // stays gap-free.
     ++ch.dropped;
     ++total_dropped_;
+    if (m_dropped_ != nullptr) m_dropped_->inc();
+    if (tracer_ != nullptr) {
+      tracer_->record(obs::TraceEventKind::kMsgDrop, from, to, 1);
+    }
     return;
   }
 
@@ -88,6 +110,11 @@ void Network::send(RouterId from, RouterId to, bgp::UpdateMessage msg) {
   ch.bytes += msg.wire_size();
   ++total_messages_;
   total_bytes_ += msg.wire_size();
+  if (m_messages_ != nullptr) {
+    m_messages_->inc();
+    m_bytes_->inc(msg.wire_size());
+    m_msg_bytes_->record(static_cast<double>(msg.wire_size()));
+  }
 
   if (!ch.up) {
     // TCP rides out a short link outage: the message waits in the send
@@ -158,6 +185,13 @@ void Network::session_reset(RouterId a, RouterId b) {
     if (ch.buffered.empty()) continue;
     ch.dropped += ch.buffered.size();
     total_dropped_ += ch.buffered.size();
+    if (m_dropped_ != nullptr) m_dropped_->inc(ch.buffered.size());
+    if (tracer_ != nullptr) {
+      const RouterId from = static_cast<RouterId>(k >> 32);
+      const RouterId to = static_cast<RouterId>(k & 0xffffffffULL);
+      tracer_->record(obs::TraceEventKind::kMsgDrop, from, to,
+                      ch.buffered.size());
+    }
     ch.buffered.clear();
   }
 }

@@ -11,6 +11,8 @@
 #include "bgp/types.h"
 #include "bgp/update.h"
 #include "net/channel.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/random.h"
 #include "sim/scheduler.h"
 
@@ -84,6 +86,15 @@ class Network {
   /// enumeration for chaos-schedule target selection.
   std::vector<std::pair<RouterId, RouterId>> sessions() const;
 
+  /// Mirrors the aggregate counters into `net.*` registry cells (and
+  /// feeds the `net.msg_bytes` size histogram). Pass nullptr to detach.
+  /// The registry must outlive the network. Purely additive accounting:
+  /// scheduling and RNG use are untouched.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// Records kMsgDrop events for fault-hook losses. Null disables.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Aggregate counters.
   std::uint64_t total_messages() const { return total_messages_; }
   std::uint64_t total_bytes() const { return total_bytes_; }
@@ -113,6 +124,13 @@ class Network {
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_dropped_ = 0;
+
+  // Optional observability handles (null when not attached).
+  obs::Counter* m_messages_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Histogram* m_msg_bytes_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace abrr::net

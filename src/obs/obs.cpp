@@ -1,0 +1,13 @@
+#include "obs/obs.h"
+
+namespace abrr::obs {
+
+Obs::Obs(sim::Scheduler& scheduler, const ObsOptions& options)
+    : options_(options) {
+  if (options_.enabled) {
+    tracer_ = std::make_unique<Tracer>(scheduler, options_.trace_capacity);
+    sampler_ = std::make_unique<Sampler>(scheduler, options_.sample_period);
+  }
+}
+
+}  // namespace abrr::obs

@@ -1,0 +1,60 @@
+// The observability bundle a testbed (or bench) owns: one metrics
+// registry — always present, so counter handles are valid whether or
+// not observability is switched on — plus, when enabled, a tracer and a
+// virtual-time sampler.
+//
+// With `ObsOptions::enabled == false` nothing is scheduled and no trace
+// is kept: the registry cells still accumulate (pure arithmetic, no
+// scheduling/RNG/clock), so a run with observability off is
+// bit-identical to one predating the subsystem.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/tracer.h"
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace abrr::obs {
+
+struct ObsOptions {
+  /// Master switch. Off: no tracer, no sampler, no scheduled work.
+  bool enabled = false;
+  /// Simulated-time cadence of the gauge sampler.
+  sim::Time sample_period = sim::msec(500);
+  /// Ring capacity of the event tracer.
+  std::size_t trace_capacity = std::size_t{1} << 16;
+};
+
+class Obs {
+ public:
+  Obs(sim::Scheduler& scheduler, const ObsOptions& options);
+
+  Obs(const Obs&) = delete;
+  Obs& operator=(const Obs&) = delete;
+
+  bool enabled() const { return options_.enabled; }
+  const ObsOptions& options() const { return options_; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// nullptr when observability is disabled.
+  Tracer* tracer() { return tracer_.get(); }
+  const Tracer* tracer() const { return tracer_.get(); }
+
+  /// nullptr when observability is disabled.
+  Sampler* sampler() { return sampler_.get(); }
+  const Sampler* sampler() const { return sampler_.get(); }
+
+ private:
+  ObsOptions options_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<Sampler> sampler_;
+};
+
+}  // namespace abrr::obs

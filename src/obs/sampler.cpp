@@ -1,0 +1,70 @@
+#include "obs/sampler.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace abrr::obs {
+
+Sampler::Sampler(sim::Scheduler& scheduler, sim::Time period)
+    : scheduler_(&scheduler), period_(period) {
+  if (period_ <= 0) throw std::invalid_argument{"Sampler: period must be > 0"};
+}
+
+void Sampler::track(std::string column, const Gauge* gauge) {
+  if (gauge == nullptr) throw std::invalid_argument{"Sampler: null gauge"};
+  if (!times_.empty()) {
+    throw std::logic_error{"Sampler: track() after the first sample"};
+  }
+  series_.push_back(Series{std::move(column), gauge, {}});
+}
+
+void Sampler::start() {
+  if (started_) return;
+  started_ = true;
+  sample_now();
+  scheduler_->schedule_weak_after(period_, [this] { tick(); });
+}
+
+void Sampler::sample_now() {
+  if (refresh_) refresh_();
+  times_.push_back(scheduler_->now());
+  for (auto& s : series_) s.values.push_back(s.gauge->value());
+}
+
+void Sampler::tick() {
+  sample_now();
+  scheduler_->schedule_weak_after(period_, [this] { tick(); });
+}
+
+std::string Sampler::to_csv() const {
+  std::string out = "time_us";
+  for (const auto& s : series_) {
+    out += ',';
+    out += s.name;
+  }
+  out += '\n';
+  char buf[64];
+  for (std::size_t r = 0; r < times_.size(); ++r) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, times_[r]);
+    out += buf;
+    for (const auto& s : series_) {
+      std::snprintf(buf, sizeof buf, ",%.10g", s.values[r]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Sampler::write_csv(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error{"sampler: cannot write " + path};
+  }
+  const std::string csv = to_csv();
+  std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace abrr::obs

@@ -1,0 +1,81 @@
+// Virtual-time gauge sampler: snapshots a set of registry gauges on a
+// fixed simulated-time cadence into in-memory time series, exportable
+// as CSV.
+//
+// The tick is a WEAK scheduler event (sim::Scheduler::schedule_weak_*):
+// it fires while the simulation has real work pending but never keeps
+// the event queue alive on its own, so run_to_quiescence() still drains
+// and an instrumented run converges exactly like an uninstrumented one.
+// Sampling calls the refresh callback (which recomputes gauge values
+// from live state) and then appends each tracked gauge; nothing here
+// touches the RNG or mutates simulation state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace abrr::obs {
+
+class Sampler {
+ public:
+  Sampler(sim::Scheduler& scheduler, sim::Time period);
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Invoked before every sample to bring gauge values up to date.
+  void set_refresh(std::function<void()> refresh) {
+    refresh_ = std::move(refresh);
+  }
+
+  /// Adds one CSV column backed by `gauge`. Track everything before the
+  /// first sample — columns added later would misalign rows.
+  void track(std::string column, const Gauge* gauge);
+
+  /// Takes the first sample now and arms the periodic weak tick.
+  void start();
+
+  /// Samples immediately (also what the tick does).
+  void sample_now();
+
+  sim::Time period() const { return period_; }
+  std::size_t columns() const { return series_.size(); }
+  std::size_t rows() const { return times_.size(); }
+  const std::vector<sim::Time>& times() const { return times_; }
+  /// Values of column `i`, one per row.
+  const std::vector<double>& values(std::size_t i) const {
+    return series_[i].values;
+  }
+  const std::string& column_name(std::size_t i) const {
+    return series_[i].name;
+  }
+
+  /// `time_us,<col>,<col>,...` header plus one row per sample.
+  std::string to_csv() const;
+  /// Writes to_csv() to `path`; throws on I/O error.
+  void write_csv(const std::string& path) const;
+
+ private:
+  void tick();
+
+  struct Series {
+    std::string name;
+    const Gauge* gauge;
+    std::vector<double> values;
+  };
+
+  sim::Scheduler* scheduler_;
+  sim::Time period_;
+  std::function<void()> refresh_;
+  std::vector<Series> series_;
+  std::vector<sim::Time> times_;
+  bool started_ = false;
+};
+
+}  // namespace abrr::obs

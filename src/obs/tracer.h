@@ -1,0 +1,87 @@
+// Deterministic event tracer: a bounded ring buffer of typed events
+// stamped with simulated time, exportable as chrome://tracing JSON.
+//
+// Events are plain integers (kind, actor, other, detail) — recording one
+// is a few stores into a preallocated ring and never allocates, so the
+// tracer can sit on the update hot path. When the ring is full the
+// OLDEST events are overwritten (the tail of a run is what a fault
+// post-mortem needs) and dropped() reports how many were lost.
+//
+// Determinism: events carry only simulated time and ids, so two runs of
+// the same seeded scenario serialize to bit-identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace abrr::obs {
+
+enum class TraceEventKind : std::uint8_t {
+  kUpdateRx,     // actor received an update from `other` (detail: #routes)
+  kUpdateTx,     // actor transmitted an update to `other` (detail: #routes)
+  kDecision,     // actor ran its decision batch (detail: #dirty prefixes)
+  kSessionUp,    // actor (re-)established its session to `other`
+  kSessionDown,  // actor tore down / lost its session to `other`
+  kHoldExpiry,   // actor's hold timer for `other` expired
+  kCrash,        // actor's process died
+  kRestart,      // actor's process came back
+  kFaultInject,  // injector fired a fault on (actor, other); detail: kind
+  kFaultRepair,  // injector resynced the (actor, other) session
+  kMsgDrop,      // network dropped a message actor -> other (detail: count)
+};
+
+const char* to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  sim::Time at = 0;
+  TraceEventKind kind = TraceEventKind::kUpdateRx;
+  std::uint32_t actor = 0;
+  std::uint32_t other = 0;
+  std::uint64_t detail = 0;
+};
+
+class Tracer {
+ public:
+  /// `clock` supplies the event timestamps (must outlive the tracer);
+  /// `capacity` bounds the ring (>= 1).
+  Tracer(const sim::Scheduler& clock, std::size_t capacity);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void record(TraceEventKind kind, std::uint32_t actor,
+              std::uint32_t other = 0, std::uint64_t detail = 0);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events currently retained (<= capacity).
+  std::size_t size() const { return ring_.size(); }
+  /// Events ever recorded.
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const { return recorded_ - ring_.size(); }
+
+  /// Visits retained events oldest-first.
+  void for_each(const std::function<void(const TraceEvent&)>& fn) const;
+
+  /// chrome://tracing "trace event format" JSON (instant events, one
+  /// process lane per actor id).
+  std::string to_chrome_json() const;
+  /// Writes to_chrome_json() to `path`; throws on I/O error.
+  void write_chrome_json(const std::string& path) const;
+
+  void clear();
+
+ private:
+  const sim::Scheduler* clock_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // next overwrite position once full
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace abrr::obs

@@ -19,11 +19,27 @@ EventId Scheduler::schedule_after(Time delay, std::function<void()> fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+EventId Scheduler::schedule_weak_at(Time at, std::function<void()> fn) {
+  const EventId id = schedule_at(at, std::move(fn));
+  weak_pending_.insert(id);
+  return id;
+}
+
+EventId Scheduler::schedule_weak_after(Time delay, std::function<void()> fn) {
+  if (delay < 0) {
+    throw std::invalid_argument{"schedule_weak_after: negative delay"};
+  }
+  return schedule_weak_at(now_ + delay, std::move(fn));
+}
+
 void Scheduler::cancel(EventId id) {
   // Only a live pending event grows the tombstone set; cancelling a
   // fired, unknown or already-cancelled id must not (such inserts would
   // accumulate forever and break has_pending()).
-  if (pending_.erase(id) != 0) cancelled_.insert(id);
+  if (pending_.erase(id) != 0) {
+    weak_pending_.erase(id);
+    cancelled_.insert(id);
+  }
 }
 
 void Scheduler::skip_cancelled() {
@@ -40,6 +56,7 @@ bool Scheduler::step() {
   Entry entry = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
   pending_.erase(entry.id);
+  weak_pending_.erase(entry.id);
   now_ = entry.at;
   ++executed_;
   entry.fn();
@@ -59,11 +76,15 @@ std::size_t Scheduler::run_until(Time deadline) {
 }
 
 bool Scheduler::run_to_quiescence(std::size_t max_events) {
+  // Quiescence means "no strong work left": weak events (sampler ticks)
+  // execute while strong events exist but are abandoned, unfired, once
+  // only they remain — otherwise a recurring sampler would keep the
+  // queue alive forever.
   for (std::size_t n = 0; n < max_events; ++n) {
-    if (!step()) return true;
+    if (!has_pending()) return true;
+    step();
   }
-  skip_cancelled();
-  return queue_.empty();
+  return !has_pending();
 }
 
 }  // namespace abrr::sim

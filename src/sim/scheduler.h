@@ -37,14 +37,32 @@ class Scheduler {
   /// Schedules `fn` after a relative delay (>= 0).
   EventId schedule_after(Time delay, std::function<void()> fn);
 
+  /// Schedules a WEAK event at absolute time `at`. Weak events fire like
+  /// any other while strong work is pending, but never keep the loop
+  /// alive on their own: has_pending() ignores them and
+  /// run_to_quiescence() stops (successfully) when only weak events
+  /// remain. Intended for passive recurring work — samplers, probes —
+  /// that must not change when a simulation is considered quiet.
+  EventId schedule_weak_at(Time at, std::function<void()> fn);
+
+  /// Weak counterpart of schedule_after().
+  EventId schedule_weak_after(Time delay, std::function<void()> fn);
+
   /// Cancels a pending event. Cancelling an already-fired or unknown
   /// event is a harmless no-op (and, in particular, does not leak
   /// bookkeeping: only ids actually pending are remembered as
   /// tombstones until their queue entry surfaces).
   void cancel(EventId id);
 
-  /// True if any non-cancelled event is pending.
-  bool has_pending() const { return !pending_.empty(); }
+  /// True if any non-cancelled STRONG event is pending; weak events do
+  /// not count.
+  bool has_pending() const { return pending_.size() > weak_pending_.size(); }
+
+  /// Non-cancelled pending events of both strengths.
+  std::size_t pending_count() const { return pending_.size(); }
+
+  /// Non-cancelled pending weak events.
+  std::size_t weak_pending_count() const { return weak_pending_.size(); }
 
   /// Runs a single event. Returns false if the queue was empty.
   bool step();
@@ -53,8 +71,9 @@ class Scheduler {
   /// `deadline`. Returns the number of events executed.
   std::size_t run_until(Time deadline);
 
-  /// Runs until the event queue drains entirely ("the network is quiet"),
-  /// or until `max_events` executed. Returns true if it drained.
+  /// Runs until no strong event remains ("the network is quiet"), or
+  /// until `max_events` executed. Returns true if it quiesced. Weak
+  /// events fire along the way but are abandoned once only they remain.
   bool run_to_quiescence(std::size_t max_events = SIZE_MAX);
 
   /// Total events executed since construction.
@@ -84,8 +103,10 @@ class Scheduler {
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   // Invariant: every queued entry's id is in exactly one of pending_
   // (live) or cancelled_ (tombstoned, awaiting lazy removal), so both
-  // sets are bounded by the queue size.
+  // sets are bounded by the queue size. weak_pending_ is a subset of
+  // pending_ marking events that don't count toward has_pending().
   std::unordered_set<EventId> pending_;
+  std::unordered_set<EventId> weak_pending_;
   std::unordered_set<EventId> cancelled_;
 };
 

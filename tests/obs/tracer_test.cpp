@@ -1,0 +1,93 @@
+// Unit tests for the bounded ring tracer: wraparound, drop accounting,
+// oldest-first iteration, and chrome://tracing serialization.
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace abrr::obs {
+namespace {
+
+std::vector<std::uint64_t> details(const Tracer& t) {
+  std::vector<std::uint64_t> out;
+  t.for_each([&](const TraceEvent& e) { out.push_back(e.detail); });
+  return out;
+}
+
+TEST(Tracer, RejectsZeroCapacity) {
+  sim::Scheduler sched;
+  EXPECT_THROW(Tracer(sched, 0), std::invalid_argument);
+}
+
+TEST(Tracer, RecordsBelowCapacityInOrder) {
+  sim::Scheduler sched;
+  Tracer t{sched, 8};
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    t.record(TraceEventKind::kUpdateRx, 1, 2, i);
+  }
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.recorded(), 3u);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(details(t), (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(Tracer, WraparoundKeepsNewestAndCountsDropped) {
+  sim::Scheduler sched;
+  Tracer t{sched, 4};
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.record(TraceEventKind::kDecision, 7, 0, i);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  // Oldest-first iteration over the surviving tail.
+  EXPECT_EQ(details(t), (std::vector<std::uint64_t>{6, 7, 8, 9}));
+}
+
+TEST(Tracer, EventsCarrySimTime) {
+  sim::Scheduler sched;
+  Tracer t{sched, 4};
+  t.record(TraceEventKind::kSessionUp, 1, 2);
+  sched.schedule_at(sim::msec(5), [&] {
+    t.record(TraceEventKind::kSessionDown, 1, 2);
+  });
+  sched.run_to_quiescence();
+  std::vector<sim::Time> at;
+  t.for_each([&](const TraceEvent& e) { at.push_back(e.at); });
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], 0);
+  EXPECT_EQ(at[1], sim::msec(5));
+}
+
+TEST(Tracer, ChromeJsonIsDeterministicAndWellFormed) {
+  sim::Scheduler sched;
+  Tracer a{sched, 16};
+  Tracer b{sched, 16};
+  for (Tracer* t : {&a, &b}) {
+    t->record(TraceEventKind::kFaultInject, 3, 4, 1);
+    t->record(TraceEventKind::kUpdateTx, 3, 4, 12);
+  }
+  EXPECT_EQ(a.to_chrome_json(), b.to_chrome_json());
+  const std::string js = a.to_chrome_json();
+  EXPECT_NE(js.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(js.find("\"name\":\"fault_inject\""), std::string::npos);
+  EXPECT_NE(js.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(js.find("\"pid\":3"), std::string::npos);
+}
+
+TEST(Tracer, ClearResetsRetainedButNotClock) {
+  sim::Scheduler sched;
+  Tracer t{sched, 4};
+  t.record(TraceEventKind::kCrash, 9);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  t.record(TraceEventKind::kRestart, 9);
+  EXPECT_EQ(details(t).size(), 1u);
+}
+
+}  // namespace
+}  // namespace abrr::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 namespace abrr::sim {
@@ -147,6 +148,73 @@ TEST(Scheduler, RejectsEmptyCallback) {
   Scheduler s;
   EXPECT_THROW(s.schedule_at(1, {}), std::invalid_argument);
   EXPECT_THROW(s.schedule_after(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, WeakEventsDoNotBlockQuiescence) {
+  Scheduler s;
+  bool weak_ran = false;
+  s.schedule_weak_at(5, [&] { weak_ran = true; });
+  EXPECT_FALSE(s.has_pending());       // only weak work pending
+  EXPECT_EQ(s.pending_count(), 1u);
+  EXPECT_EQ(s.weak_pending_count(), 1u);
+  EXPECT_TRUE(s.run_to_quiescence());  // returns without firing it
+  EXPECT_FALSE(weak_ran);
+  EXPECT_EQ(s.now(), 0);
+}
+
+TEST(Scheduler, WeakEventsFireWhileStrongWorkExists) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_weak_at(5, [&] { order.push_back(1); });
+  s.schedule_at(10, [&] { order.push_back(2); });
+  EXPECT_TRUE(s.has_pending());
+  s.run_to_quiescence();
+  // The weak event at t=5 precedes the strong one at t=10, so it fires
+  // on the way; quiescence stops once only weak events remain.
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, RunUntilFiresWeakEventsUpToDeadline) {
+  Scheduler s;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    s.schedule_weak_after(10, tick);
+  };
+  s.schedule_weak_after(10, tick);
+  s.run_until(35);
+  EXPECT_EQ(ticks, 3);  // t = 10, 20, 30
+  EXPECT_EQ(s.now(), 35);
+}
+
+TEST(Scheduler, CancelledWeakEventLeavesAccountingClean) {
+  Scheduler s;
+  const EventId id = s.schedule_weak_at(5, [] {});
+  s.cancel(id);
+  EXPECT_EQ(s.pending_count(), 0u);
+  EXPECT_EQ(s.weak_pending_count(), 0u);
+  EXPECT_FALSE(s.has_pending());
+  // A strong event after a cancelled weak one runs normally.
+  bool ran = false;
+  s.schedule_at(6, [&] { ran = true; });
+  EXPECT_TRUE(s.run_to_quiescence());
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, WeakEventResumesWhenStrongWorkReturns) {
+  Scheduler s;
+  int weak = 0;
+  std::function<void()> tick = [&] {
+    ++weak;
+    s.schedule_weak_after(10, tick);
+  };
+  s.schedule_weak_after(10, tick);
+  s.run_to_quiescence();
+  EXPECT_EQ(weak, 0);
+  // New strong work past the weak deadline pulls the weak event along.
+  s.schedule_at(25, [] {});
+  s.run_to_quiescence();
+  EXPECT_EQ(weak, 2);  // t = 10, 20
 }
 
 TEST(TimeHelpers, Conversions) {
