@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace abrr;
-  const auto cfg = bench::ExperimentConfig::from_args(argc, argv);
+  const auto cfg = bench::ExperimentConfig::from_args(argc, argv, "ablation_ap_balancing");
   sim::Rng rng{cfg.seed};
   const auto topology = bench::make_paper_topology(cfg, rng);
   const auto workload = bench::make_paper_workload(cfg, topology, rng);

@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace abrr;
-  auto cfg = bench::ExperimentConfig::from_args(argc, argv);
+  auto cfg = bench::ExperimentConfig::from_args(argc, argv, "ablation_client_reduction");
   if (cfg.prefixes == 4000) cfg.prefixes = 1200;
   cfg.pops = 7;  // keep the full-mesh reference affordable
   cfg.clients_per_pop = 6;

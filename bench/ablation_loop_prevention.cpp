@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace abrr;
-  auto cfg = bench::ExperimentConfig::from_args(argc, argv);
+  auto cfg = bench::ExperimentConfig::from_args(argc, argv, "ablation_loop_prevention");
   if (cfg.prefixes == 4000) cfg.prefixes = 800;
   sim::Rng rng{cfg.seed};
   const auto topology = bench::make_paper_topology(cfg, rng);

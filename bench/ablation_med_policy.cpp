@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace abrr;
-  auto cfg = bench::ExperimentConfig::from_args(argc, argv);
+  auto cfg = bench::ExperimentConfig::from_args(argc, argv, "ablation_med_policy");
   if (cfg.prefixes == 4000) cfg.prefixes = 600;
   cfg.pops = 5;
 

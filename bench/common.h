@@ -6,16 +6,24 @@
 // prefix. Absolute sizes are scaled (the paper used 315K peer prefixes;
 // we default to a few thousand — pass --prefixes=N to change), so
 // compare SHAPES against the paper, not absolute numbers.
+//
+// Flag parsing is runner::ArgParser: flags are declared once below,
+// unknown flags fail loudly, and every bench shares the same spelling
+// (--prefixes, --seed/--seeds, --jobs, --metrics-out, --out-dir, ...).
+// Experiments themselves are declared as runner::ScenarioSpec values
+// (see paper_spec) and executed by runner::ExperimentRunner.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "harness/testbed.h"
+#include "runner/arg_parser.h"
+#include "runner/runner.h"
+#include "runner/scenario.h"
 #include "topo/topology.h"
 #include "trace/regenerator.h"
 #include "trace/update_trace.h"
@@ -30,40 +38,79 @@ struct ExperimentConfig {
   std::uint32_t peer_ases = 25;
   std::uint32_t points_per_as = 8;
   std::uint64_t seed = 42;
+  /// All seeds to run (multi-trial benches); defaults to {seed}.
+  std::vector<std::uint64_t> seeds;
+  /// Worker threads for ExperimentRunner-backed benches.
+  std::size_t jobs = 1;
+  /// Optional iBGP-mode filter ("fullmesh"/"tbrr"/"abrr"/"dual");
+  /// empty = bench default set.
+  std::string mode;
   double trace_seconds = 120.0;       // compressed two-week update feed
   double trace_events_per_second = 20.0;
   /// When non-empty, the bench dumps each testbed's aggregated metrics
   /// registry as a section of a JSON report here (see MetricsSink).
   std::string metrics_out;
+  /// Directory for additional bench artifacts (BENCH_*.json).
+  std::string out_dir = ".";
 
-  static ExperimentConfig from_args(int argc, char** argv) {
-    ExperimentConfig cfg;
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      const auto num = [&](const char* key) -> const char* {
-        const std::size_t n = std::strlen(key);
-        return arg.rfind(key, 0) == 0 ? arg.c_str() + n : nullptr;
-      };
-      if (const char* v = num("--prefixes=")) {
-        cfg.prefixes = std::strtoull(v, nullptr, 10);
-      } else if (const char* v = num("--seed=")) {
-        cfg.seed = std::strtoull(v, nullptr, 10);
-      } else if (const char* v = num("--pops=")) {
-        cfg.pops = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
-      } else if (const char* v = num("--trace-seconds=")) {
-        cfg.trace_seconds = std::strtod(v, nullptr);
-      } else if (const char* v = num("--metrics-out=")) {
-        cfg.metrics_out = v;
-      } else if (arg == "--help" || arg == "-h") {
-        std::printf(
-            "flags: --prefixes=N --seed=N --pops=N --trace-seconds=S "
-            "--metrics-out=PATH\n");
-        std::exit(0);
-      }
+  /// Declares the shared flags on `p`. Benches with extra flags build
+  /// their own parser, call this, add their flags, then parse.
+  void register_flags(runner::ArgParser& p) {
+    p.add("prefixes", "peer prefixes in the synthetic RIB", &prefixes);
+    p.add("pops", "PoPs/clusters in the Tier-1 topology", &pops);
+    p.add("seed", "base RNG seed", &seed);
+    p.add("seeds", "comma-separated seed list (overrides --seed)", &seeds);
+    p.add("jobs", "worker threads for runner-backed benches", &jobs);
+    p.add("mode", "iBGP mode filter: fullmesh|tbrr|abrr|dual", &mode);
+    p.add("trace-seconds", "update-replay length (simulated seconds)",
+          &trace_seconds);
+    p.add("metrics-out", "write per-run metrics-registry JSON here",
+          &metrics_out);
+    p.add("out-dir", "directory for bench artifacts", &out_dir);
+  }
+
+  /// Reconciles --seed/--seeds and validates --mode. Exits loudly on a
+  /// bad mode name (parse() already exited on unknown flags).
+  void finish() {
+    if (seeds.empty()) {
+      seeds = {seed};
+    } else {
+      seed = seeds.front();
     }
+    if (!mode.empty() && !runner::parse_mode(mode)) {
+      std::fprintf(stderr, "error: unknown --mode '%s' (expected "
+                   "fullmesh|tbrr|abrr|dual)\n", mode.c_str());
+      std::exit(2);
+    }
+  }
+
+  static ExperimentConfig from_args(int argc, char** argv,
+                                    const char* program) {
+    ExperimentConfig cfg;
+    runner::ArgParser parser{program};
+    cfg.register_flags(parser);
+    parser.parse(argc, argv);
+    cfg.finish();
     return cfg;
   }
 };
+
+/// The §4 paper scenario for one (mode, num_aps) cell at this config's
+/// scale. Benches tweak the returned spec (trace replay, faults, obs)
+/// and hand a batch to runner::ExperimentRunner.
+inline runner::ScenarioSpec paper_spec(ibgp::IbgpMode mode,
+                                       std::size_t num_aps,
+                                       const ExperimentConfig& cfg) {
+  auto spec = runner::ScenarioSpec::paper(mode, num_aps, cfg.seed);
+  spec.topology.pops = cfg.pops;
+  spec.topology.clients_per_pop = cfg.clients_per_pop;
+  spec.topology.peer_ases = cfg.peer_ases;
+  spec.topology.points_per_as = cfg.points_per_as;
+  spec.workload.prefixes = cfg.prefixes;
+  spec.seeds = cfg.seeds.empty() ? std::vector<std::uint64_t>{cfg.seed}
+                                 : cfg.seeds;
+  return spec;
+}
 
 /// Collects the aggregated metrics-registry dump of every testbed a
 /// bench runs and writes one JSON report on destruction:
@@ -84,8 +131,14 @@ class MetricsSink {
   /// histograms merged) under `label`. Call right after the run whose
   /// metrics the section should describe.
   void capture(const std::string& label, const harness::Testbed& bed) {
+    capture(label, bed.metrics().to_json(/*aggregate=*/true));
+  }
+
+  /// Same, from an already-rendered registry dump (e.g.
+  /// runner::TrialResult::metrics_json).
+  void capture(const std::string& label, std::string metrics_json) {
     if (!enabled()) return;
-    sections_.emplace_back(label, bed.metrics().to_json(/*aggregate=*/true));
+    sections_.emplace_back(label, std::move(metrics_json));
   }
 
   ~MetricsSink() {

@@ -33,7 +33,7 @@ double percentile(std::vector<double> v, double p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto cfg = bench::ExperimentConfig::from_args(argc, argv);
+  auto cfg = bench::ExperimentConfig::from_args(argc, argv, "convergence_time");
   cfg.pops = 6;
   if (cfg.prefixes == 4000) cfg.prefixes = 400;
   sim::Rng rng{cfg.seed};

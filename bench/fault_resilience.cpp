@@ -10,151 +10,36 @@
 // restart the whole bed took to return to its exact pre-fault RIB state
 // (recovery), the update churn the episode caused, and whether the
 // recovered bed is full-mesh-equivalent.
+//
+// Each (mode, scenario) cell is one ScenarioSpec with fault.enabled;
+// the trial executor (runner/trial.cpp) runs the crash episode and the
+// in-trial full-mesh equivalence check. --jobs=N runs cells
+// concurrently with identical output.
 #include <cinttypes>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common.h"
-#include "fault/injector.h"
-#include "fault/recovery.h"
-#include "fault/schedule.h"
-#include "verify/equivalence.h"
 
 namespace abrr::bench {
 namespace {
 
 constexpr sim::Time kHold = sim::sec(3);
 constexpr sim::Time kOutage = sim::sec(10);
-constexpr sim::Time kStep = sim::msec(100);
-constexpr sim::Time kFingerprintStep = sim::msec(500);
 
-struct CaseResult {
-  std::string mode;
-  std::string scenario;
-  bgp::RouterId victim = 0;
-  double detection_ms = -1;  // crash -> first hold expiration
-  double blackout_ms = 0;    // surviving client missing a route
-  double recovery_ms = -1;   // restart -> pre-fault RIB fingerprint
-  std::uint64_t churn_updates = 0;  // updates received, fault episode
-  std::uint64_t churn_routes = 0;
-  std::uint64_t dropped_messages = 0;
-  std::uint64_t fingerprint = 0;
-  bool fingerprint_restored = false;
-  bool fullmesh_equivalent = false;
-};
-
-std::uint64_t total_hold_expirations(harness::Testbed& bed) {
-  std::uint64_t n = 0;
-  for (const bgp::RouterId id : bed.all_ids()) {
-    n += bed.speaker(id).counters().hold_expirations;
-  }
-  return n;
-}
-
-CaseResult run_case(ibgp::IbgpMode mode, const std::string& scenario,
-                    const ExperimentConfig& cfg,
-                    const topo::Topology& topology,
-                    const trace::Workload& workload,
-                    const std::vector<bgp::Ipv4Prefix>& prefixes,
-                    harness::Testbed& baseline, MetricsSink& sink) {
-  CaseResult r;
-  r.mode = mode == ibgp::IbgpMode::kAbrr ? "abrr" : "tbrr";
-  r.scenario = scenario;
-
-  harness::TestbedOptions o = paper_options(mode, /*num_aps=*/8, cfg.seed);
-  o.hold_time = kHold;
-  harness::Testbed bed{topology, o, prefixes};
-  trace::RouteRegenerator regen{bed.scheduler(), workload, bed.inject_fn()};
-  regen.load_snapshot(0, sim::sec(20));
-  // Hold-timer beds never quiesce (keepalives tick forever): run to a
-  // generous convergence deadline instead.
-  bed.run_until(sim::sec(60));
-
-  const std::uint64_t fp0 = fault::rib_fingerprint(bed);
-  std::vector<std::pair<bgp::RouterId, std::size_t>> steady_sizes;
-  for (const bgp::RouterId id : bed.client_ids()) {
-    steady_sizes.emplace_back(id, bed.speaker(id).loc_rib().size());
-  }
-  bed.reset_counters();
-  const std::uint64_t dropped0 = bed.network().total_dropped();
-  const std::uint64_t expirations0 = total_hold_expirations(bed);
-
-  r.victim = scenario == "rr_crash" ? bed.rr_ids().front()
-                                    : bed.client_ids().front();
-  const sim::Time t_crash = bed.scheduler().now() + sim::sec(1);
-  const sim::Time t_restart = t_crash + kOutage;
-
-  fault::FaultEvent ev;
-  ev.kind = fault::FaultKind::kRouterCrash;
-  ev.at = t_crash;
-  ev.duration = kOutage;
-  ev.a = r.victim;
-  fault::FaultSchedule schedule;
-  schedule.add(ev);
-  fault::FaultInjector injector{bed, schedule};
-  injector.set_resync(fault::make_workload_resync(bed, regen));
-  injector.arm();
-
-  const sim::Time deadline = t_restart + sim::sec(180);
-  sim::Time next_fingerprint = t_restart;
-  sim::Time recovered_at = -1;
-  sim::Time detected_at = -1;
-  while (bed.scheduler().now() < deadline) {
-    bed.run_until(bed.scheduler().now() + kStep);
-    const sim::Time now = bed.scheduler().now();
-    if (detected_at < 0 && total_hold_expirations(bed) > expirations0) {
-      detected_at = now;
-    }
-    // Blackout: any surviving client below its steady-state route count.
-    bool missing = false;
-    for (const auto& [id, want] : steady_sizes) {
-      if (id == r.victim) continue;
-      if (bed.speaker(id).loc_rib().size() < want) {
-        missing = true;
-        break;
-      }
-    }
-    if (missing) r.blackout_ms += sim::to_msec(kStep);
-    if (now >= next_fingerprint) {
-      next_fingerprint = now + kFingerprintStep;
-      if (fault::rib_fingerprint(bed) == fp0) {
-        recovered_at = now;
-        break;
-      }
-    }
-  }
-
-  if (detected_at >= 0) r.detection_ms = sim::to_msec(detected_at - t_crash);
-  if (recovered_at >= 0) {
-    r.recovery_ms = sim::to_msec(recovered_at - t_restart);
-    r.fingerprint_restored = true;
-  }
-  for (const bgp::RouterId id : bed.all_ids()) {
-    const auto c = bed.delta_counters(id);
-    r.churn_updates += c.updates_received;
-    r.churn_routes += c.routes_received;
-  }
-  r.dropped_messages = bed.network().total_dropped() - dropped0;
-  r.fingerprint = fault::rib_fingerprint(bed);
-  r.fullmesh_equivalent =
-      verify::compare_loc_ribs(bed, baseline, prefixes).equivalent();
-  sink.capture(r.mode + "/" + r.scenario, bed);
-  return r;
-}
-
-void print_row(const CaseResult& r) {
+void print_row(const runner::TrialResult& r) {
   std::printf(
-      "%-5s %-13s victim=%-4u detect=%8.1fms blackout=%8.1fms "
+      "%-22s victim=%-4u detect=%8.1fms blackout=%8.1fms "
       "recover=%9.1fms churn=%8" PRIu64 " dropped=%6" PRIu64
       " restored=%d fm_equiv=%d\n",
-      r.mode.c_str(), r.scenario.c_str(), r.victim, r.detection_ms,
-      r.blackout_ms, r.recovery_ms, r.churn_updates, r.dropped_messages,
+      r.scenario.c_str(), r.victim, r.detection_ms, r.blackout_ms,
+      r.recovery_ms, r.churn_updates, r.dropped_messages,
       r.fingerprint_restored ? 1 : 0, r.fullmesh_equivalent ? 1 : 0);
 }
 
 void write_json(const std::string& path, const ExperimentConfig& cfg,
-                const std::vector<CaseResult>& results) {
+                const std::vector<runner::TrialResult>& results) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
@@ -169,7 +54,12 @@ void write_json(const std::string& path, const ExperimentConfig& cfg,
                sim::to_msec(kOutage));
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const CaseResult& r = results[i];
+    const runner::TrialResult& r = results[i];
+    // Spec names are "mode/scenario"; keep the historical JSON schema
+    // (bare scenario in its own field).
+    const std::size_t slash = r.scenario.find('/');
+    const std::string scenario =
+        slash == std::string::npos ? r.scenario : r.scenario.substr(slash + 1);
     std::fprintf(
         f,
         "    {\"mode\": \"%s\", \"scenario\": \"%s\", \"victim\": %u,\n"
@@ -179,7 +69,7 @@ void write_json(const std::string& path, const ExperimentConfig& cfg,
         ", \"dropped_messages\": %" PRIu64 ",\n"
         "     \"fingerprint\": \"%016" PRIx64
         "\", \"fingerprint_restored\": %s, \"fullmesh_equivalent\": %s}%s\n",
-        r.mode.c_str(), r.scenario.c_str(), r.victim, r.detection_ms,
+        r.mode.c_str(), scenario.c_str(), r.victim, r.detection_ms,
         r.blackout_ms, r.recovery_ms, r.churn_updates, r.churn_routes,
         r.dropped_messages, r.fingerprint,
         r.fingerprint_restored ? "true" : "false",
@@ -198,39 +88,48 @@ int main(int argc, char** argv) {
   using namespace abrr;
   using namespace abrr::bench;
 
-  ExperimentConfig cfg = ExperimentConfig::from_args(argc, argv);
+  ExperimentConfig cfg;
   std::string json_out;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--json_out=", 0) == 0) {
-      json_out = arg.substr(std::string{"--json_out="}.size());
+  runner::ArgParser parser{"fault_resilience"};
+  cfg.register_flags(parser);
+  parser.add("json_out", "write the case table as JSON here", &json_out);
+  parser.parse(argc, argv);
+  cfg.finish();
+
+  std::vector<runner::ScenarioSpec> specs;
+  for (const auto mode : {ibgp::IbgpMode::kAbrr, ibgp::IbgpMode::kTbrr}) {
+    for (const auto scenario :
+         {harness::FaultOptions::Scenario::kRrCrash,
+          harness::FaultOptions::Scenario::kBorderCrash}) {
+      auto spec = paper_spec(mode, /*num_aps=*/8, cfg);
+      spec.name = std::string{runner::mode_name(mode)} + "/" +
+                  (scenario == harness::FaultOptions::Scenario::kRrCrash
+                       ? "rr_crash"
+                       : "border_crash");
+      spec.workload.snapshot_seconds = 20.0;
+      spec.fault.enabled = true;
+      spec.fault.scenario = scenario;
+      spec.fault.hold_time = kHold;
+      spec.fault.outage = kOutage;
+      spec.fault.verify_fullmesh = true;
+      specs.push_back(std::move(spec));
     }
-  }
-
-  sim::Rng rng{cfg.seed};
-  const auto topology = make_paper_topology(cfg, rng);
-  const auto workload = make_paper_workload(cfg, topology, rng);
-  const auto prefixes = workload.prefixes();
-
-  // Untouched full-mesh reference for the final equivalence column.
-  harness::TestbedOptions base_opts =
-      paper_options(ibgp::IbgpMode::kFullMesh, 8, cfg.seed);
-  harness::Testbed baseline{topology, base_opts, prefixes};
-  if (!load_snapshot(baseline, workload, 20.0)) {
-    std::fprintf(stderr, "error: baseline did not converge\n");
-    return 1;
   }
 
   std::printf("fault_resilience: %zu prefixes, hold=%.0fms, outage=%.0fms\n",
               cfg.prefixes, sim::to_msec(kHold), sim::to_msec(kOutage));
-  std::vector<CaseResult> results;
+  runner::ExperimentRunner run{{.jobs = cfg.jobs}};
+  const auto results = run.run(specs);
+
   MetricsSink sink{"fault_resilience", cfg.metrics_out};
-  for (const auto mode : {ibgp::IbgpMode::kAbrr, ibgp::IbgpMode::kTbrr}) {
-    for (const std::string scenario : {"rr_crash", "border_crash"}) {
-      results.push_back(run_case(mode, scenario, cfg, topology, workload,
-                                 prefixes, baseline, sink));
-      print_row(results.back());
+  for (const runner::TrialResult& r : results) {
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "error: %s: %s\n", r.scenario.c_str(),
+                   r.error.c_str());
+      return 1;
     }
+    print_row(r);
+    sink.capture(r.scenario, r.metrics_json);
   }
   if (!json_out.empty()) write_json(json_out, cfg, results);
   return 0;

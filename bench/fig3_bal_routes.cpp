@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace abrr;
-  const auto cfg = bench::ExperimentConfig::from_args(argc, argv);
+  const auto cfg = bench::ExperimentConfig::from_args(argc, argv, "fig3_bal_routes");
   sim::Rng rng{cfg.seed};
   const auto topology = bench::make_paper_topology(cfg, rng);
   const auto workload = bench::make_paper_workload(cfg, topology, rng);

@@ -9,20 +9,42 @@
 //   - TRR analysis OVERestimates the measurement (uniformity
 //     assumptions), ~35% on RIB-In and ~13% on RIB-Out in the paper;
 //   - ARR RIBs are substantially smaller than TRR RIBs throughout.
+//
+// The scenarios are declared as ScenarioSpecs and executed by
+// ExperimentRunner (--jobs=N runs them concurrently; output is
+// identical at any job count).
 #include <cstdio>
-#include <memory>
+#include <vector>
 
 #include "analysis/rib_model.h"
 #include "common.h"
 
 int main(int argc, char** argv) {
   using namespace abrr;
-  const auto cfg = bench::ExperimentConfig::from_args(argc, argv);
+  const auto cfg =
+      bench::ExperimentConfig::from_args(argc, argv, "fig6_rib_sizes");
+
+  // The analysis overlay needs the measured #BAL of the workload the
+  // trials will regenerate from cfg.seed.
   sim::Rng rng{cfg.seed};
   const auto topology = bench::make_paper_topology(cfg, rng);
   const auto workload = bench::make_paper_workload(cfg, topology, rng);
-  const auto prefixes = workload.prefixes();
   const double bal = bench::measured_bal(workload, topology, rng);
+
+  std::vector<runner::ScenarioSpec> specs;
+  for (const std::size_t aps : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    auto spec = bench::paper_spec(ibgp::IbgpMode::kAbrr, aps, cfg);
+    spec.name = "ABRR/" + std::to_string(aps) + "AP";
+    specs.push_back(std::move(spec));
+  }
+  {
+    auto spec = bench::paper_spec(ibgp::IbgpMode::kTbrr, cfg.pops, cfg);
+    spec.name = "TBRR/" + std::to_string(cfg.pops) + "cl";
+    specs.push_back(std::move(spec));
+  }
+
+  runner::ExperimentRunner run{{.jobs = cfg.jobs}};
+  const auto results = run.run(specs);
 
   std::printf("# Figure 6: RIB sizes of an ARR/TRR (experiment vs analysis)\n");
   std::printf("# prefixes=%zu clients=%zu measured #BAL=%.2f seed=%llu\n\n",
@@ -33,26 +55,25 @@ int main(int argc, char** argv) {
               "out-max", "out-anl");
 
   bench::MetricsSink sink{"fig6_rib_sizes", cfg.metrics_out};
-  const auto run = [&](ibgp::IbgpMode mode, std::size_t aps,
-                       const char* label) {
-    auto options = bench::paper_options(mode, aps, cfg.seed);
-    auto bed = std::make_unique<harness::Testbed>(topology, options,
-                                                  prefixes);
-    if (!bench::load_snapshot(*bed, workload, 30.0)) {
-      std::printf("%-14s DID NOT CONVERGE\n", label);
-      return;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const runner::TrialResult& r = results[i];
+    if (!r.error.empty() || !r.converged) {
+      std::printf("%-14s %s\n", r.scenario.c_str(),
+                  r.error.empty() ? "DID NOT CONVERGE" : r.error.c_str());
+      continue;
     }
-    sink.capture(label, *bed);
-    const auto in = bed->rr_rib_in();
-    const auto out = bed->rr_rib_out();
+    sink.capture(r.scenario, r.metrics_json);
 
+    // Results arrive in expanded (spec x seed) order.
+    const runner::ScenarioSpec& spec = specs[i / cfg.seeds.size()];
+    const bool is_abrr = spec.mode == ibgp::IbgpMode::kAbrr;
     analysis::ModelParams p;
     p.prefixes = static_cast<double>(cfg.prefixes);
     p.bal = bal;
     double anl_in = 0, anl_out = 0;
-    if (mode == ibgp::IbgpMode::kAbrr) {
-      p.aps = static_cast<double>(aps);
-      p.rrs = 2.0 * static_cast<double>(aps);
+    if (is_abrr) {
+      p.aps = static_cast<double>(spec.abrr.num_aps);
+      p.rrs = 2.0 * p.aps;
       anl_in = analysis::AbrrModel::rib_in(p);
       anl_out = analysis::AbrrModel::rib_out(p);
     } else {
@@ -62,21 +83,14 @@ int main(int argc, char** argv) {
       anl_out = analysis::TbrrModel::rib_out(p);
     }
     std::printf("%-14s %9.0f %9.0f %9.0f %9.0f | %9.0f %9.0f %9.0f %9.0f\n",
-                label, in.min, in.avg, in.max, anl_in, out.min, out.avg,
-                out.max, anl_out);
-    if (mode == ibgp::IbgpMode::kTbrr) {
+                r.scenario.c_str(), r.rib_in.min, r.rib_in.avg, r.rib_in.max,
+                anl_in, r.rib_out.min, r.rib_out.avg, r.rib_out.max, anl_out);
+    if (!is_abrr) {
       std::printf("# TRR analysis overestimate: RIB-In %.1f%%, "
                   "RIB-Out %.1f%% (paper: 34.9%%, 13.4%%)\n",
-                  100.0 * (anl_in - in.avg) / in.avg,
-                  100.0 * (anl_out - out.avg) / out.avg);
+                  100.0 * (anl_in - r.rib_in.avg) / r.rib_in.avg,
+                  100.0 * (anl_out - r.rib_out.avg) / r.rib_out.avg);
     }
-  };
-
-  for (const std::size_t aps : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    char label[32];
-    std::snprintf(label, sizeof label, "ABRR/%zuAP", aps);
-    run(ibgp::IbgpMode::kAbrr, aps, label);
   }
-  run(ibgp::IbgpMode::kTbrr, cfg.pops, "TBRR/13cl");
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bgp/attrs_intern.h"
@@ -460,14 +461,18 @@ bool write_json(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract --json_out=PATH before google-benchmark sees the args.
+  // Our flags parse strictly (unknown flags fail loudly);
+  // --benchmark_* passes through to google-benchmark untouched.
   std::string json_path;
+  abrr::runner::ArgParser parser{"micro_bench"};
+  parser.add("json_out", "write fast-vs-legacy ratio report here",
+             &json_path);
+  parser.allow_prefix("--benchmark_");
+  parser.parse(argc, argv);
+
   std::vector<char*> rest;
   for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--json_out=", 0) == 0) {
-      json_path = arg.substr(11);
-    } else {
+    if (i == 0 || std::string_view{argv[i]}.rfind("--benchmark_", 0) == 0) {
       rest.push_back(argv[i]);
     }
   }

@@ -20,18 +20,12 @@
 
 int main(int argc, char** argv) {
   using namespace abrr;
-  auto cfg = bench::ExperimentConfig::from_args(argc, argv);
+  auto cfg = bench::ExperimentConfig::from_args(argc, argv, "obs_drill");
   // A drill wants a small bed: the artifacts are for reading, not for
   // scale. Override only values the user left at their defaults.
   if (cfg.prefixes == 4000) cfg.prefixes = 200;
   if (cfg.pops == 13) cfg.pops = 3;
-  std::string out_dir = ".";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--out-dir=", 0) == 0) {
-      out_dir = arg.substr(std::string{"--out-dir="}.size());
-    }
-  }
+  const std::string& out_dir = cfg.out_dir;
 
   sim::Rng rng{cfg.seed};
   const auto topology = bench::make_paper_topology(cfg, rng);

@@ -1,21 +1,29 @@
 #!/usr/bin/env bash
-# Runs the micro-benchmarks (BENCH_micro.json) and the fault-resilience
-# experiment (BENCH_fault.json + BENCH_fault_metrics.json).
+# Runs the micro-benchmarks (BENCH_micro.json), the fault-resilience
+# experiment (BENCH_fault.json + BENCH_fault_metrics.json) and the
+# parallel sweep (BENCH_sweep.json, which also proves --jobs=N output is
+# byte-identical to --jobs=1).
 #
-# Usage: bench/run_bench.sh [--out-dir=DIR] [build-dir] [extra google-benchmark flags...]
-# Reports land in --out-dir (default: the repo root). The build dir
-# defaults to ./build; build it first with:
+# Usage: bench/run_bench.sh [--out-dir=DIR] [--jobs=N] [build-dir] [extra google-benchmark flags...]
+# Reports land in --out-dir (default: the repo root). --jobs=N sets the
+# worker-thread count for the runner-backed benches (default: nproc).
+# The build dir defaults to ./build; build it first with:
 #   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
-# Skip the (slower) fault experiment with ABRR_SKIP_FAULT_BENCH=1.
+# Skip the (slower) fault experiment with ABRR_SKIP_FAULT_BENCH=1; skip
+# the sweep with ABRR_SKIP_SWEEP_BENCH=1.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 out_dir="$repo_root"
-if [[ $# -gt 0 && "$1" == --out-dir=* ]]; then
-  out_dir="${1#--out-dir=}"
-  shift
-fi
+jobs="$(nproc 2>/dev/null || echo 2)"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out-dir=*) out_dir="${1#--out-dir=}"; shift ;;
+    --jobs=*) jobs="${1#--jobs=}"; shift ;;
+    *) break ;;
+  esac
+done
 if [[ ! -d "$out_dir" ]]; then
   mkdir -p "$out_dir" || {
     echo "error: cannot create output dir '$out_dir'" >&2
@@ -54,6 +62,19 @@ if [[ "${ABRR_SKIP_FAULT_BENCH:-0}" != "1" ]]; then
   fi
   "$fault_bin" \
     --prefixes="${ABRR_FAULT_PREFIXES:-2000}" \
+    --jobs="$jobs" \
     --json_out="$out_dir/BENCH_fault.json" \
     --metrics-out="$out_dir/BENCH_fault_metrics.json"
+fi
+
+if [[ "${ABRR_SKIP_SWEEP_BENCH:-0}" != "1" ]]; then
+  sweep_bin="$build_dir/bench/sweep"
+  if [[ ! -x "$sweep_bin" ]]; then
+    echo "error: $sweep_bin not found or not executable; build first" >&2
+    exit 1
+  fi
+  "$sweep_bin" \
+    --prefixes="${ABRR_SWEEP_PREFIXES:-1000}" \
+    --jobs="$jobs" \
+    --out-dir="$out_dir"
 fi

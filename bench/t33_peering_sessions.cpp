@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace abrr;
-  const auto cfg = bench::ExperimentConfig::from_args(argc, argv);
+  const auto cfg = bench::ExperimentConfig::from_args(argc, argv, "t33_peering_sessions");
 
   std::printf("# §3.3: analytical session counts at the paper's scale\n");
   std::printf("# (2000 routers; sweeping #APs/clusters, 2 RRs each)\n\n");

@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace abrr;
-  auto cfg = bench::ExperimentConfig::from_args(argc, argv);
+  auto cfg = bench::ExperimentConfig::from_args(argc, argv, "t42_transmitted_updates");
   cfg.pops = 27;  // the full 27-cluster AS of §4.2
   if (cfg.prefixes == 4000) cfg.prefixes = 2000;  // 27 PoPs cost more
   sim::Rng rng{cfg.seed};

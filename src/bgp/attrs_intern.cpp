@@ -6,7 +6,7 @@
 namespace abrr::bgp {
 namespace {
 
-bool g_interning_enabled = true;
+thread_local bool g_interning_enabled = true;
 
 // Sweep the whole table after this many interns; bounds the dead
 // weak_ptr population under attribute churn (MED/path-change replays).
@@ -37,7 +37,13 @@ std::uint64_t attrs_content_hash(const PathAttrs& attrs) {
 }
 
 AttrsInterner& AttrsInterner::global() {
-  static AttrsInterner interner;
+  // Thread-local, not process-wide: the parallel experiment runner runs
+  // fully independent trials on worker threads, and the interner is the
+  // one piece of hot-path state make_attrs() reaches implicitly. A
+  // per-thread table keeps every trial thread-confined with zero
+  // synchronization; interning never changes results (only folds equal
+  // allocations), so per-thread tables cannot affect determinism.
+  static thread_local AttrsInterner interner;
   return interner;
 }
 

@@ -10,6 +10,10 @@
 // *same* block) or one integer compare.
 //
 // The simulator is single-threaded; the interner is not synchronized.
+// global() is THREAD-LOCAL: each worker thread of the parallel
+// experiment runner gets its own table, keeping trials thread-confined
+// without locks (interning only folds equal allocations, so per-thread
+// tables cannot change any result).
 #pragma once
 
 #include <cstddef>
@@ -36,7 +40,7 @@ std::uint64_t attrs_content_hash(const PathAttrs& attrs);
 /// bounded by the number of *live* distinct attribute sets.
 class AttrsInterner {
  public:
-  /// The process-wide interner used by make_attrs().
+  /// The calling thread's interner, used by make_attrs().
   static AttrsInterner& global();
 
   /// Canonicalizes `attrs`: returns the existing block when an equal one
@@ -58,7 +62,8 @@ class AttrsInterner {
 
   /// Kill switch: with interning disabled, intern() wraps every block in
   /// a fresh allocation (content hash still computed). Used by the
-  /// equivalence tests and the legacy-path benchmarks.
+  /// equivalence tests and the legacy-path benchmarks. Per-thread, like
+  /// the table itself.
   static void set_enabled(bool enabled);
   static bool enabled();
 

@@ -3,24 +3,25 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace abrr::harness {
 
-Testbed::Testbed(topo::Topology topology, const TestbedOptions& options,
+Testbed::Testbed(topo::Topology topology, const TestbedConfig& config,
                  std::span<const Ipv4Prefix> prefixes)
     : topology_(std::move(topology)),
-      options_(options),
-      rng_(options.seed),
+      config_(config),
+      rng_(config.seed),
       network_(scheduler_, rng_),
-      obs_(std::make_unique<obs::Obs>(scheduler_, options.obs)) {
+      obs_(std::make_unique<obs::Obs>(scheduler_, config.obs)) {
   network_.set_metrics(&obs_->metrics());
   network_.set_tracer(obs_->tracer());
-  if (options_.use_prefix_index) {
+  if (config_.use_prefix_index) {
     prefix_index_ = std::make_shared<bgp::PrefixIndex>();
     for (const Ipv4Prefix& p : prefixes) prefix_index_->add(p);
   }
 
-  switch (options_.mode) {
+  switch (config_.mode) {
     case ibgp::IbgpMode::kFullMesh:
       spf_ = std::make_unique<igp::SpfCache>(topology_.graph);
       wire_full_mesh();
@@ -84,12 +85,12 @@ void Testbed::start_sampler() {
 }
 
 ibgp::Speaker& Testbed::make_speaker(ibgp::SpeakerConfig cfg) {
-  cfg.decision = options_.decision;
-  cfg.mrai = options_.mrai;
-  cfg.proc_delay = options_.proc_delay;
-  cfg.proc_per_update = options_.proc_per_update;
-  cfg.abrr_force_client_reduction = options_.abrr_force_client_reduction;
-  cfg.hold_time = options_.hold_time;
+  cfg.decision = config_.decision;
+  cfg.mrai = config_.timing.mrai;
+  cfg.proc_delay = config_.timing.proc_delay;
+  cfg.proc_per_update = config_.timing.proc_per_update;
+  cfg.abrr_force_client_reduction = config_.abrr.force_client_reduction;
+  cfg.hold_time = config_.timing.hold_time;
   auto speaker = std::make_unique<ibgp::Speaker>(cfg, scheduler_, network_,
                                                  &obs_->metrics());
   speaker->set_tracer(obs_->tracer());
@@ -107,9 +108,9 @@ void Testbed::connect(RouterId a, RouterId b) {
   const auto metric = spf_->distance(a, b);
   sim::Time latency = sim::msec(1);
   if (metric != bgp::kIgpInfinity) {
-    latency += metric * options_.latency_per_metric;
+    latency += metric * config_.timing.latency_per_metric;
   }
-  network_.connect(a, b, latency, options_.latency_jitter);
+  network_.connect(a, b, latency, config_.timing.latency_jitter);
 }
 
 void Testbed::wire_full_mesh() {
@@ -153,7 +154,7 @@ void Testbed::wire_tbrr(bool dual) {
     cfg.mode = mode;
     if (dual) cfg.ap_of = ap_of_;
     cfg.cluster_id = rr.cluster + 1;
-    cfg.multipath = options_.multipath;
+    cfg.multipath = config_.multipath;
     cfg.data_plane = false;
     make_speaker(cfg);
   }
@@ -186,12 +187,12 @@ void Testbed::wire_tbrr(bool dual) {
 }
 
 void Testbed::wire_abrr(bool dual, std::span<const Ipv4Prefix> prefixes) {
-  partition_ = options_.balanced_aps
+  partition_ = config_.abrr.balanced_aps
                    ? core::PartitionScheme::balanced(
-                         options_.num_aps,
+                         config_.abrr.num_aps,
                          std::vector<Ipv4Prefix>(prefixes.begin(),
                                                  prefixes.end()))
-                   : core::PartitionScheme::uniform(options_.num_aps);
+                   : core::PartitionScheme::uniform(config_.abrr.num_aps);
   ap_of_ = partition_->mapper();
   const auto& ap_of = ap_of_;
 
@@ -201,7 +202,7 @@ void Testbed::wire_abrr(bool dual, std::span<const Ipv4Prefix> prefixes) {
   if (!dual) {
     for (const auto& rr : topology_.reflectors) arr_pool.push_back(rr.id);
   }
-  const std::size_t needed = options_.num_aps * options_.arrs_per_ap;
+  const std::size_t needed = config_.abrr.num_aps * config_.abrr.arrs_per_ap;
   RouterId next_id = 1;
   for (const auto& r : topology_.clients) next_id = std::max(next_id, r.id);
   for (const auto& r : topology_.reflectors) next_id = std::max(next_id, r.id);
@@ -235,9 +236,9 @@ void Testbed::wire_abrr(bool dual, std::span<const Ipv4Prefix> prefixes) {
 
   // ARRs.
   std::vector<RouterId> arr_ids;
-  for (std::size_t ap = 0; ap < options_.num_aps; ++ap) {
-    for (std::size_t k = 0; k < options_.arrs_per_ap; ++k) {
-      const RouterId id = arr_pool[ap * options_.arrs_per_ap + k];
+  for (std::size_t ap = 0; ap < config_.abrr.num_aps; ++ap) {
+    for (std::size_t k = 0; k < config_.abrr.arrs_per_ap; ++k) {
+      const RouterId id = arr_pool[ap * config_.abrr.arrs_per_ap + k];
       ibgp::SpeakerConfig cfg;
       cfg.id = id;
       cfg.asn = topology_.local_as;
@@ -284,6 +285,21 @@ void Testbed::wire_abrr(bool dual, std::span<const Ipv4Prefix> prefixes) {
       speakers_.at(other)->add_peer(b_view);
     }
   }
+}
+
+ibgp::Speaker& Testbed::speaker(RouterId id) {
+  const auto it = speakers_.find(id);
+  if (it == speakers_.end()) {
+    throw std::out_of_range{"Testbed::speaker: unknown router id " +
+                            std::to_string(id) + " (testbed knows " +
+                            std::to_string(speakers_.size()) +
+                            " speaker ids)"};
+  }
+  return *it->second;
+}
+
+const ibgp::Speaker& Testbed::speaker(RouterId id) const {
+  return const_cast<Testbed*>(this)->speaker(id);
 }
 
 trace::InjectFn Testbed::inject_fn() {

@@ -7,9 +7,11 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/address_partition.h"
+#include "harness/options.h"
 #include "ibgp/speaker.h"
 #include "igp/spf.h"
 #include "net/network.h"
@@ -24,6 +26,10 @@ namespace abrr::harness {
 using bgp::Ipv4Prefix;
 using bgp::RouterId;
 
+/// Thin FLAT adapter over the grouped TestbedConfig (harness/options.h):
+/// the historical field-per-knob options struct, kept so existing tests
+/// and benches compile unchanged. New code — and everything reached via
+/// runner::ScenarioSpec — should use the nested form directly.
 struct TestbedOptions {
   ibgp::IbgpMode mode = ibgp::IbgpMode::kFullMesh;
   /// TBRR-multi (Appendix A.3) when mode covers TBRR.
@@ -56,6 +62,28 @@ struct TestbedOptions {
   /// attaches the event tracer and starts the virtual-time RIB sampler.
   /// Disabled runs are bit-identical to pre-observability runs.
   obs::ObsOptions obs{};
+
+  /// The grouped equivalent; Testbed construction goes through this.
+  TestbedConfig config() const {
+    TestbedConfig c;
+    c.mode = mode;
+    c.multipath = multipath;
+    c.abrr.num_aps = num_aps;
+    c.abrr.arrs_per_ap = arrs_per_ap;
+    c.abrr.balanced_aps = balanced_aps;
+    c.abrr.force_client_reduction = abrr_force_client_reduction;
+    c.timing.mrai = mrai;
+    c.timing.proc_delay = proc_delay;
+    c.timing.proc_per_update = proc_per_update;
+    c.timing.latency_per_metric = latency_per_metric;
+    c.timing.latency_jitter = latency_jitter;
+    c.timing.hold_time = hold_time;
+    c.decision = decision;
+    c.seed = seed;
+    c.use_prefix_index = use_prefix_index;
+    c.obs = obs;
+    return c;
+  }
 };
 
 /// Aggregate over a set of speakers (Figure 6's min/avg/max bars).
@@ -97,8 +125,13 @@ class Testbed {
   /// boxes become TRRs (TBRR) and/or the first ARR nodes (ABRR); extra
   /// pure control-plane ARR nodes are created when the partition needs
   /// more, attached to random PoPs (ABRR placement freedom, §2.3.3).
-  Testbed(topo::Topology topology, const TestbedOptions& options,
+  Testbed(topo::Topology topology, const TestbedConfig& config,
           std::span<const Ipv4Prefix> prefixes);
+
+  /// Legacy flat-options form (delegates through TestbedOptions::config).
+  Testbed(topo::Topology topology, const TestbedOptions& options,
+          std::span<const Ipv4Prefix> prefixes)
+      : Testbed(std::move(topology), options.config(), prefixes) {}
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
@@ -116,11 +149,15 @@ class Testbed {
   obs::Sampler* sampler() { return obs_->sampler(); }
   igp::SpfCache& spf() { return *spf_; }
   const topo::Topology& topology() const { return topology_; }
+  const TestbedConfig& config() const { return config_; }
   const core::PartitionScheme* partition() const {
     return partition_ ? &*partition_ : nullptr;
   }
 
-  ibgp::Speaker& speaker(RouterId id) { return *speakers_.at(id); }
+  /// Throws std::out_of_range naming the unknown id and the number of
+  /// known speakers (not .at()'s bare "map::at" message).
+  ibgp::Speaker& speaker(RouterId id);
+  const ibgp::Speaker& speaker(RouterId id) const;
   bool has_speaker(RouterId id) const { return speakers_.count(id) != 0; }
 
   /// Every speaker with an RR role (TRRs or ARRs).
@@ -178,7 +215,7 @@ class Testbed {
                          std::size_t speakers) const;
 
   topo::Topology topology_;
-  TestbedOptions options_;
+  TestbedConfig config_;
   sim::Scheduler scheduler_;
   sim::Rng rng_;
   net::Network network_;

@@ -208,6 +208,7 @@ std::string MetricsRegistry::key_of(std::string_view name,
 
 Counter* MetricsRegistry::counter(std::string_view name,
                                   const Labels& labels) {
+  confined_.check();
   const std::string key = key_of(name, labels);
   const auto it = counter_index_.find(key);
   if (it != counter_index_.end()) return &counters_[it->second];
@@ -220,6 +221,7 @@ Counter* MetricsRegistry::counter(std::string_view name,
 }
 
 Gauge* MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
+  confined_.check();
   const std::string key = key_of(name, labels);
   const auto it = gauge_index_.find(key);
   if (it != gauge_index_.end()) return &gauges_[it->second];
@@ -234,6 +236,7 @@ Gauge* MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
 Histogram* MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds,
                                       const Labels& labels) {
+  confined_.check();
   const std::string key = key_of(name, labels);
   const auto it = histogram_index_.find(key);
   if (it != histogram_index_.end()) return &histograms_[it->second];

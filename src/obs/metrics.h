@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/thread_confined.h"
+
 namespace abrr::obs {
 
 /// An ordered (sorted by key) set of key=value pairs identifying one
@@ -186,6 +188,9 @@ class MetricsRegistry {
   std::deque<Histogram> histograms_;
   std::vector<MetricInfo> histogram_info_;
   std::unordered_map<std::string, std::size_t> histogram_index_;
+  /// A registry belongs to one trial, hence one thread (debug assert on
+  /// the registration paths; handle-based inc/set stays unchecked).
+  sim::ThreadConfined confined_;
 };
 
 }  // namespace abrr::obs

@@ -1,0 +1,103 @@
+#include "runner/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace abrr::runner {
+namespace {
+
+/// One expanded unit of work: a spec (by pointer into the caller's
+/// span) plus the single seed this trial runs.
+struct TrialPlan {
+  const ScenarioSpec* spec = nullptr;
+  std::uint64_t seed = 0;
+};
+
+TrialResult execute(const TrialPlan& plan, std::size_t index) {
+  const auto t0 = std::chrono::steady_clock::now();
+  TrialResult result;
+  try {
+    result = run_trial(*plan.spec, plan.seed, index);
+  } catch (const std::exception& e) {
+    result.scenario = plan.spec->name;
+    result.mode = mode_name(plan.spec->mode);
+    result.seed = plan.seed;
+    result.index = index;
+    result.error = e.what();
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace
+
+std::vector<TrialResult> ExperimentRunner::run(
+    std::span<const ScenarioSpec> specs) const {
+  // Validate everything up front: a bad spec anywhere aborts the whole
+  // batch before any simulation starts.
+  std::string all_errors;
+  for (const ScenarioSpec& spec : specs) {
+    const auto errors = spec.validate();
+    if (!errors.empty()) {
+      if (!all_errors.empty()) all_errors += "; ";
+      all_errors += "spec '" + spec.name + "': " + render_errors(errors);
+    }
+  }
+  if (!all_errors.empty()) {
+    throw std::invalid_argument{"ExperimentRunner::run: " + all_errors};
+  }
+
+  // Expand in declared order: spec order outermost, that spec's seed
+  // list innermost. Slot i of the result vector belongs to plan i
+  // forever — workers write results by index, never by completion
+  // order, which is what makes --jobs=N output identical to --jobs=1.
+  std::vector<TrialPlan> plans;
+  for (const ScenarioSpec& spec : specs) {
+    for (const std::uint64_t seed : spec.seeds) {
+      plans.push_back({&spec, seed});
+    }
+  }
+
+  std::vector<TrialResult> results(plans.size());
+  const std::size_t jobs =
+      std::min(options_.jobs == 0 ? std::size_t{1} : options_.jobs,
+               plans.size());
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      results[i] = execute(plans[i], i);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    workers.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < plans.size();
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        results[i] = execute(plans[i], i);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  return results;
+}
+
+std::vector<TrialResult> ExperimentRunner::run_sweep(
+    const ScenarioSpec& base, const SweepAxes& axes) const {
+  const std::vector<ScenarioSpec> specs = base.sweep(axes);
+  return run(specs);
+}
+
+}  // namespace abrr::runner

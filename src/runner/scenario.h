@@ -1,0 +1,116 @@
+// ScenarioSpec: the declarative description of one experiment trial (or,
+// via its seed list and sweep(), a whole family of trials).
+//
+// A spec is pure data — topology scale, workload shape, iBGP mode, the
+// nested AP/timing/fault/obs option groups, and the seeds to run — plus
+// a validate() that turns misconfiguration into structured errors
+// instead of silently nonsensical runs. The ExperimentRunner
+// (runner/runner.h) executes specs; everything a trial needs (topology,
+// workload, testbed) is regenerated deterministically from the spec and
+// seed inside the trial, so trials are fully independent and
+// thread-confined.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/decision.h"
+#include "harness/options.h"
+#include "ibgp/speaker.h"
+#include "obs/obs.h"
+
+namespace abrr::runner {
+
+/// Topology scale: the §4 testbed generator's knobs. Defaults reproduce
+/// the paper's 13-cluster Tier-1 subset (peering routers only).
+struct TopologyOptions {
+  std::uint32_t pops = 13;
+  std::uint32_t clients_per_pop = 8;
+  std::uint32_t peer_ases = 25;
+  std::uint32_t points_per_as = 8;
+  double peering_router_fraction = 1.0;  // §4: peering routers only
+  double peering_skew = 0.8;  // gateway-PoP concentration (§4.1 variance)
+};
+
+/// Workload shape: snapshot size and the optional update-trace replay.
+struct WorkloadOptions {
+  std::size_t prefixes = 4000;
+  /// Simulated seconds the snapshot load is paced over.
+  double snapshot_seconds = 30.0;
+  /// > 0 schedules an update-trace replay after the snapshot converges
+  /// (counters reset in between, as in §4.2); 0 = snapshot only.
+  double trace_seconds = 0.0;
+  double trace_events_per_second = 20.0;
+};
+
+/// One structured validation failure: the offending field (dotted path)
+/// and a human-readable reason.
+struct ValidationError {
+  std::string field;
+  std::string message;
+};
+
+/// Renders "field: message; field: message" for error reporting.
+std::string render_errors(const std::vector<ValidationError>& errors);
+
+/// Sweep axes for ScenarioSpec::sweep(): the cross-product dimensions.
+/// Empty axis = keep the base spec's value.
+struct SweepAxes {
+  std::vector<ibgp::IbgpMode> modes;
+  std::vector<std::size_t> num_aps;          // ABRR scale axis
+  std::vector<std::size_t> prefix_counts;    // workload scale axis
+  std::vector<std::uint64_t> seeds;
+};
+
+/// Parses "fullmesh" / "tbrr" / "abrr" / "dual" (case-sensitive).
+std::optional<ibgp::IbgpMode> parse_mode(std::string_view name);
+/// The inverse of parse_mode().
+const char* mode_name(ibgp::IbgpMode mode);
+
+struct ScenarioSpec {
+  /// Row label in reports; sweep() derives child names from it.
+  std::string name = "scenario";
+
+  ibgp::IbgpMode mode = ibgp::IbgpMode::kAbrr;
+  /// TBRR-multi (Appendix A.3); only meaningful when mode covers TBRR.
+  bool multipath = false;
+
+  TopologyOptions topology;
+  WorkloadOptions workload;
+  harness::AbrrOptions abrr;
+  harness::TimingOptions timing;
+  harness::FaultOptions fault;
+  obs::ObsOptions obs;
+  bgp::DecisionConfig decision{};
+  bool use_prefix_index = true;
+
+  /// Seeds to run; every seed is one independent trial.
+  std::vector<std::uint64_t> seeds = {42};
+
+  /// Structured misconfiguration check. Empty vector = valid. The
+  /// runner refuses invalid specs up front (std::invalid_argument with
+  /// render_errors()), so nonsense never reaches a simulation.
+  std::vector<ValidationError> validate() const;
+
+  /// Cross-product expansion over the given axes. Every returned spec
+  /// carries exactly ONE seed and a derived name
+  /// (`base/mode/apN[/pfxN]/seedS`), in deterministic declared-axis
+  /// order: modes outermost, then num_aps, then prefix_counts, then
+  /// seeds innermost. Empty axes reuse the base spec's value(s).
+  std::vector<ScenarioSpec> sweep(const SweepAxes& axes) const;
+
+  /// The testbed configuration for one trial of this spec. Applies the
+  /// fault episode's hold time when the episode is enabled.
+  harness::TestbedConfig testbed_config(std::uint64_t seed) const;
+
+  /// Paper defaults (§4 timing: 20us/update processing, 20ms jitter),
+  /// matching the historical bench::paper_options().
+  static ScenarioSpec paper(ibgp::IbgpMode mode, std::size_t num_aps,
+                            std::uint64_t seed);
+};
+
+}  // namespace abrr::runner

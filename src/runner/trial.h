@@ -1,0 +1,76 @@
+// One trial = one (ScenarioSpec, seed) pair executed end to end:
+// regenerate topology + workload, build a testbed, load the snapshot,
+// optionally replay an update trace and/or a fault episode, and collect
+// every number the benches report. Trials are fully self-contained —
+// they own their Scheduler, Network, MetricsRegistry and Rng — so the
+// runner can execute them on any worker thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "harness/testbed.h"
+#include "runner/scenario.h"
+
+namespace abrr::runner {
+
+/// Everything one trial produced. serialize() is the canonical
+/// byte-exact form used by the determinism matrix and BENCH_sweep.json:
+/// two runs of the same (spec, seed) must serialize identically no
+/// matter which worker executed them — wall_ms is therefore NOT part of
+/// the serialization (it is real time, not simulated time).
+struct TrialResult {
+  std::string scenario;  // spec name
+  std::string mode;      // mode_name(spec.mode)
+  std::uint64_t seed = 0;
+  std::size_t index = 0;  // position in the runner's expanded order
+
+  /// Non-empty when the trial threw; every other field is then
+  /// whatever was collected before the failure (usually defaults).
+  std::string error;
+
+  bool converged = false;
+  std::size_t speakers = 0;
+  std::size_t rrs = 0;
+  std::size_t clients = 0;
+  std::size_t sessions = 0;
+  harness::Aggregate rib_in;
+  harness::Aggregate rib_out;
+  harness::RoleTotals rr_totals;
+  harness::RoleTotals client_totals;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t trace_events = 0;  // update-trace events replayed (0 = none)
+
+  /// Fault episode results (fault_ran == spec.fault.enabled).
+  bool fault_ran = false;
+  bgp::RouterId victim = 0;
+  double detection_ms = -1;  // crash -> first hold expiration
+  double blackout_ms = 0;    // surviving client missing a route
+  double recovery_ms = -1;   // restart -> pre-fault RIB fingerprint
+  bool fingerprint_restored = false;
+  bool fullmesh_equivalent = false;
+  std::uint64_t churn_updates = 0;
+  std::uint64_t churn_routes = 0;
+  std::uint64_t dropped_messages = 0;
+
+  /// Aggregated metrics-registry dump of the trial's testbed
+  /// (MetricsRegistry::to_json(aggregate=true)).
+  std::string metrics_json;
+
+  /// Real (wall-clock) execution time of the trial on its worker.
+  /// Excluded from serialize().
+  double wall_ms = 0;
+
+  /// Canonical deterministic JSON rendering (no wall-clock content).
+  std::string serialize() const;
+};
+
+/// Executes one trial. `seed` overrides the spec's seed list (the
+/// runner expands one call per seed); `index` is echoed into the
+/// result. Throws only on internal errors — the runner catches and
+/// records them in TrialResult::error.
+TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
+                      std::size_t index);
+
+}  // namespace abrr::runner

@@ -28,6 +28,7 @@ Rng::Rng(std::uint64_t seed) {
 }
 
 Rng::result_type Rng::operator()() {
+  confined_.check();
   const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;
   state_[2] ^= state_[0];

@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "sim/thread_confined.h"
+
 namespace abrr::sim {
 
 /// Deterministic 64-bit PRNG (xoshiro256**) with distribution helpers.
@@ -66,6 +68,9 @@ class Rng {
 
  private:
   std::uint64_t state_[4];
+  /// Whichever thread first draws from the generator owns it (debug
+  /// assert); copies/splits re-capture on their own first draw.
+  ThreadConfined confined_;
 
   // Zipf normalisation cache: valid for (zipf_n_, zipf_s_).
   std::size_t zipf_n_ = 0;

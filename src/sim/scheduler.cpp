@@ -6,6 +6,7 @@
 namespace abrr::sim {
 
 EventId Scheduler::schedule_at(Time at, std::function<void()> fn) {
+  confined_.check();
   if (!fn) throw std::invalid_argument{"schedule_at: empty callback"};
   if (at < now_) at = now_;
   const EventId id = next_id_++;
@@ -33,6 +34,7 @@ EventId Scheduler::schedule_weak_after(Time delay, std::function<void()> fn) {
 }
 
 void Scheduler::cancel(EventId id) {
+  confined_.check();
   // Only a live pending event grows the tombstone set; cancelling a
   // fired, unknown or already-cancelled id must not (such inserts would
   // accumulate forever and break has_pending()).
@@ -50,6 +52,7 @@ void Scheduler::skip_cancelled() {
 }
 
 bool Scheduler::step() {
+  confined_.check();
   skip_cancelled();
   if (queue_.empty()) return false;
   // Move the entry out before popping so the callback can schedule/cancel.

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/thread_confined.h"
 #include "sim/time.h"
 
 namespace abrr::sim {
@@ -21,7 +22,10 @@ using EventId = std::uint64_t;
 /// Deterministic discrete-event loop.
 ///
 /// Events are callbacks ordered by (time, insertion sequence). The loop is
-/// single-threaded; callbacks may schedule further events.
+/// single-threaded; callbacks may schedule further events. The loop is
+/// also thread-CONFINED: whichever thread first schedules or steps owns
+/// the scheduler for its whole life (asserted in debug builds) — the
+/// contract the parallel experiment runner builds on.
 class Scheduler {
  public:
   Scheduler() = default;
@@ -108,6 +112,7 @@ class Scheduler {
   std::unordered_set<EventId> pending_;
   std::unordered_set<EventId> weak_pending_;
   std::unordered_set<EventId> cancelled_;
+  ThreadConfined confined_;
 };
 
 }  // namespace abrr::sim

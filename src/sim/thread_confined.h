@@ -1,0 +1,65 @@
+// Debug-build thread-confinement assertion.
+//
+// The simulator is single-threaded by design: a Scheduler and everything
+// riding on it (Network, Speakers, Rng, MetricsRegistry) belong to
+// exactly one thread for their whole life. The parallel experiment
+// runner relies on that contract to run many independent trials
+// concurrently without any locking. ThreadConfined makes the contract
+// checkable: embed one, call check() at the top of mutating entry
+// points, and a debug build aborts the moment an object is touched from
+// a second thread. Release builds compile the check away entirely.
+//
+// Ownership is captured on FIRST check, not at construction, so an
+// object may be built on one thread and handed to a worker before use
+// (the runner constructs nothing ahead of time, but tests may).
+// Copies and moves reset the capture: the new object belongs to
+// whichever thread first touches it.
+#pragma once
+
+#ifndef NDEBUG
+#include <cassert>
+#include <thread>
+#endif
+
+namespace abrr::sim {
+
+class ThreadConfined {
+ public:
+  ThreadConfined() = default;
+#ifndef NDEBUG
+  ThreadConfined(const ThreadConfined&) {}
+  ThreadConfined& operator=(const ThreadConfined&) { return *this; }
+  ThreadConfined(ThreadConfined&&) noexcept {}
+  ThreadConfined& operator=(ThreadConfined&&) noexcept { return *this; }
+#endif
+
+  /// Asserts the caller is the owning thread (first caller wins).
+  void check() const {
+#ifndef NDEBUG
+    const std::thread::id self = std::this_thread::get_id();
+    if (owner_ == std::thread::id{}) {
+      owner_ = self;
+      return;
+    }
+    assert(owner_ == self &&
+           "thread-confinement violation: object touched from a second "
+           "thread (each trial must own its scheduler/network/rng)");
+#endif
+  }
+
+  /// Releases ownership; the next check() re-captures. For the rare
+  /// legitimate hand-off (build on thread A, run on thread B, A never
+  /// touches the object again).
+  void rebind() {
+#ifndef NDEBUG
+    owner_ = std::thread::id{};
+#endif
+  }
+
+ private:
+#ifndef NDEBUG
+  mutable std::thread::id owner_{};
+#endif
+};
+
+}  // namespace abrr::sim
