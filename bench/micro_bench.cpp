@@ -10,11 +10,13 @@
 // with the computed fast-vs-legacy ratios (see bench/run_bench.sh).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bgp/attrs_intern.h"
@@ -25,6 +27,7 @@
 #include "igp/spf.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "sim/arena.h"
 #include "sim/random.h"
 #include "sim/scheduler.h"
 #include "topo/topology.h"
@@ -232,6 +235,7 @@ void BM_TrieLongestMatch(benchmark::State& state) {
 BENCHMARK(BM_TrieLongestMatch);
 
 void BM_SchedulerThroughput(benchmark::State& state) {
+  std::uint64_t pool_capacity = 0;
   for (auto _ : state) {
     sim::Scheduler sched;
     int counter = 0;
@@ -240,11 +244,53 @@ void BM_SchedulerThroughput(benchmark::State& state) {
     }
     sched.run_to_quiescence();
     benchmark::DoNotOptimize(counter);
+    pool_capacity = sched.pool_capacity();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+  state.counters["pool_capacity"] = static_cast<double>(pool_capacity);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+// The trial allocation model in isolation: 1000 PathAttrs blocks built
+// per iteration, then the whole batch torn down at once. The arena path
+// bumps a slab pointer and reuses the same chunks across resets; the
+// legacy twin is the strategy interned attributes used before —
+// one heap allocation (and one free) per block via shared_ptr.
+void BM_ArenaAlloc(benchmark::State& state) {
+  sim::Arena arena;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      bgp::PathAttrs* attrs = arena.create<bgp::PathAttrs>();
+      attrs->local_pref = static_cast<std::uint32_t>(i);
+      benchmark::DoNotOptimize(attrs);
+    }
+    arena.reset();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+  state.counters["bytes_reserved"] =
+      static_cast<double>(arena.bytes_reserved());
+  state.counters["chunks"] = static_cast<double>(arena.chunk_count());
+}
+BENCHMARK(BM_ArenaAlloc);
+
+void BM_ArenaAlloc_Legacy(benchmark::State& state) {
+  std::vector<std::shared_ptr<const bgp::PathAttrs>> blocks;
+  blocks.reserve(1000);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      auto attrs = std::make_shared<bgp::PathAttrs>();
+      attrs->local_pref = static_cast<std::uint32_t>(i);
+      blocks.push_back(std::move(attrs));
+      benchmark::DoNotOptimize(blocks.back());
+    }
+    blocks.clear();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           1000);
 }
-BENCHMARK(BM_SchedulerThroughput);
+BENCHMARK(BM_ArenaAlloc_Legacy);
 
 // Observability hot paths: these run inside every update receive /
 // decision / transmit, so the handle dereference + add must stay cheap
@@ -384,6 +430,8 @@ class CapturingReporter : public benchmark::ConsoleReporter {
     std::string name;
     double real_ns = 0;
     std::int64_t iterations = 0;
+    // User counters (e.g. pool_capacity, bytes_reserved), sorted by name.
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -397,6 +445,10 @@ class CapturingReporter : public benchmark::ConsoleReporter {
                     benchmark::GetTimeUnitMultiplier(benchmark::kNanosecond) /
                     benchmark::GetTimeUnitMultiplier(run.time_unit);
       row.iterations = run.iterations;
+      for (const auto& [name, counter] : run.counters) {
+        row.counters.emplace_back(name, counter.value);
+      }
+      std::sort(row.counters.begin(), row.counters.end());
       rows_.push_back(std::move(row));
     }
     ConsoleReporter::ReportRuns(runs);
@@ -425,10 +477,19 @@ bool write_json(const std::string& path,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"real_time_ns\": %.3f, "
-                 "\"iterations\": %lld}%s\n",
+                 "\"iterations\": %lld",
                  json_escape(rows[i].name).c_str(), rows[i].real_ns,
-                 static_cast<long long>(rows[i].iterations),
-                 i + 1 < rows.size() ? "," : "");
+                 static_cast<long long>(rows[i].iterations));
+    if (!rows[i].counters.empty()) {
+      std::fprintf(f, ", \"counters\": {");
+      for (std::size_t c = 0; c < rows[i].counters.size(); ++c) {
+        std::fprintf(f, "%s\"%s\": %.3f", c > 0 ? ", " : "",
+                     json_escape(rows[i].counters[c].first).c_str(),
+                     rows[i].counters[c].second);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"speedups\": [\n");
   // Pair "X_Legacy[/args]" rows with their "X[/args]" fast twin.

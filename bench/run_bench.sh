@@ -4,23 +4,34 @@
 # parallel sweep (BENCH_sweep.json, which also proves --jobs=N output is
 # byte-identical to --jobs=1).
 #
-# Usage: bench/run_bench.sh [--out-dir=DIR] [--jobs=N] [build-dir] [extra google-benchmark flags...]
+# Usage: bench/run_bench.sh [--out-dir=DIR] [--jobs=N] [--preset=NAME]
+#                           [build-dir] [extra google-benchmark flags...]
 # Reports land in --out-dir (default: the repo root). --jobs=N sets the
 # worker-thread count for the runner-backed benches (default: nproc).
-# The build dir defaults to ./build; build it first with:
+# --preset=NAME resolves the build dir from CMakePresets.json (e.g.
+# --preset=release -> ./build-release); otherwise the build dir defaults
+# to ./build. Build it first with:
 #   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
-# Skip the (slower) fault experiment with ABRR_SKIP_FAULT_BENCH=1; skip
-# the sweep with ABRR_SKIP_SWEEP_BENCH=1.
+# (or `cmake --preset release && cmake --build --preset release`).
+#
+# The script fails loudly on a missing/unconfigured build dir and on
+# bench binaries older than the sources they were built from — stale
+# binaries silently benchmark last week's code. Override the staleness
+# check (only) with ABRR_ALLOW_STALE=1. Skip the (slower) fault
+# experiment with ABRR_SKIP_FAULT_BENCH=1; skip the sweep with
+# ABRR_SKIP_SWEEP_BENCH=1.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 out_dir="$repo_root"
 jobs="$(nproc 2>/dev/null || echo 2)"
+preset=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --out-dir=*) out_dir="${1#--out-dir=}"; shift ;;
     --jobs=*) jobs="${1#--jobs=}"; shift ;;
+    --preset=*) preset="${1#--preset=}"; shift ;;
     *) break ;;
   esac
 done
@@ -31,20 +42,80 @@ if [[ ! -d "$out_dir" ]]; then
   }
 fi
 
-build_dir="${1:-$repo_root/build}"
-shift || true
+if [[ -n "$preset" ]]; then
+  if [[ $# -gt 0 && "${1:0:2}" != "--" ]]; then
+    echo "error: pass either --preset=NAME or an explicit build dir, not both" >&2
+    exit 1
+  fi
+  # Preset binaryDirs follow the ${sourceDir}/build-<name> convention
+  # (see CMakePresets.json); verify the preset actually exists there so a
+  # typo fails here, not as a confusing missing-directory error below.
+  if ! grep -q "\"name\": \"$preset\"" "$repo_root/CMakePresets.json"; then
+    echo "error: preset '$preset' not found in CMakePresets.json" >&2
+    exit 1
+  fi
+  build_dir="$repo_root/build-$preset"
+else
+  build_dir="${1:-$repo_root/build}"
+  shift || true
+fi
 if [[ ! -d "$build_dir" ]]; then
   echo "error: build dir '$build_dir' does not exist." >&2
   echo "Build it first:" >&2
-  echo "  cmake -B '$build_dir' -S '$repo_root' -DCMAKE_BUILD_TYPE=Release" >&2
-  echo "  cmake --build '$build_dir' -j" >&2
+  if [[ -n "$preset" ]]; then
+    echo "  cmake --preset $preset && cmake --build --preset $preset -j" >&2
+  else
+    echo "  cmake -B '$build_dir' -S '$repo_root' -DCMAKE_BUILD_TYPE=Release" >&2
+    echo "  cmake --build '$build_dir' -j" >&2
+  fi
+  exit 1
+fi
+if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+  echo "error: '$build_dir' exists but has no CMakeCache.txt — not a configured build dir" >&2
   exit 1
 fi
 
+# Stale-build guard: if the newest source/CMake file is newer than
+# everything in the build dir, the build has not run since that edit and
+# the bench binaries measure last week's code. (Per-binary mtime checks
+# are too brittle: an up-to-date binary that doesn't depend on the
+# edited file is never relinked, so it would look stale forever.)
+check_build_current() {
+  [[ "${ABRR_ALLOW_STALE:-0}" == "1" ]] && return 0
+  local newest_src
+  newest_src="$(find "$repo_root/src" "$repo_root/bench" \
+      "$repo_root/CMakeLists.txt" -type f \
+      \( -name '*.cpp' -o -name '*.h' -o -name 'CMakeLists.txt' \) \
+      -printf '%T@ %p\n' 2>/dev/null | sort -nr | head -1 | cut -d' ' -f2-)"
+  [[ -z "$newest_src" ]] && return 0
+  if [[ -z "$(find "$build_dir" -type f -newer "$newest_src" -print -quit)" ]]; then
+    echo "error: '$build_dir' predates $newest_src" >&2
+    echo "Rebuild it first, or set ABRR_ALLOW_STALE=1 to run anyway." >&2
+    exit 1
+  fi
+}
+
+check_fresh() {
+  local bin="$1"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found or not executable; build first" >&2
+    exit 1
+  fi
+}
+
+check_build_current
 bench_bin="$build_dir/bench/micro_bench"
-if [[ ! -x "$bench_bin" ]]; then
-  echo "error: $bench_bin not found or not executable; build first" >&2
-  exit 1
+check_fresh "$bench_bin"
+
+# Preflight: the allocation-path tests (arena, scheduler event pool,
+# interner trial scope) guard exactly the machinery these benches
+# measure — refuse to publish numbers from a build where they fail.
+if command -v ctest >/dev/null 2>&1; then
+  echo "preflight: ctest -L alloc in $build_dir"
+  if ! ctest --test-dir "$build_dir" -L alloc --output-on-failure; then
+    echo "error: allocation-path tests failed; not running benches" >&2
+    exit 1
+  fi
 fi
 
 out="$out_dir/BENCH_micro.json"
@@ -56,10 +127,7 @@ echo "wrote $out"
 
 if [[ "${ABRR_SKIP_FAULT_BENCH:-0}" != "1" ]]; then
   fault_bin="$build_dir/bench/fault_resilience"
-  if [[ ! -x "$fault_bin" ]]; then
-    echo "error: $fault_bin not found or not executable; build first" >&2
-    exit 1
-  fi
+  check_fresh "$fault_bin"
   "$fault_bin" \
     --prefixes="${ABRR_FAULT_PREFIXES:-2000}" \
     --jobs="$jobs" \
@@ -69,10 +137,7 @@ fi
 
 if [[ "${ABRR_SKIP_SWEEP_BENCH:-0}" != "1" ]]; then
   sweep_bin="$build_dir/bench/sweep"
-  if [[ ! -x "$sweep_bin" ]]; then
-    echo "error: $sweep_bin not found or not executable; build first" >&2
-    exit 1
-  fi
+  check_fresh "$sweep_bin"
   "$sweep_bin" \
     --prefixes="${ABRR_SWEEP_PREFIXES:-1000}" \
     --jobs="$jobs" \

@@ -5,12 +5,19 @@
 // default), runs it twice — once with --jobs=1 and once with --jobs=N —
 // verifies every trial's canonical serialization is BYTE-IDENTICAL
 // between the two runs, and writes BENCH_sweep.json with per-trial
-// wall-clock times and the observed speedup. On a single-core host the
-// speedup hovers around 1.0; the determinism check is meaningful
-// everywhere.
+// wall, CPU and allocation columns and the observed speedup.
+//
+// Reading the numbers: wall-clock speedup is bounded by the host's core
+// count (reported as host_cpus); with --jobs > cores, per-trial wall_ms
+// inflates with timesharing while cpu_ms stays flat. cpu_efficiency
+// (total CPU at jobs=1 / total CPU at jobs=N) is the scheduling-
+// independent signal: ~1.0 means the trials run contention-free — no
+// allocator locks, no refcount ping-pong — and parallel speedup is
+// limited only by the hardware the sweep happens to run on.
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.h"
@@ -78,6 +85,20 @@ int main(int argc, char** argv) {
   const double speedup = elapsedn > 0 ? elapsed1 / elapsedn : 1.0;
   std::printf("  speedup at --jobs=%zu: %.2fx\n", jobs, speedup);
 
+  double cpu1_total = 0;
+  double cpun_total = 0;
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    cpu1_total += r1[i].cpu_ms;
+    cpun_total += rn[i].cpu_ms;
+  }
+  // Contention shows up as CPU *inflation* at jobs=N (threads burning
+  // cycles on locks/refcounts/cache misses they don't burn serially).
+  const double cpu_efficiency = cpun_total > 0 ? cpu1_total / cpun_total : 1.0;
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::printf("  cpu: %.0fms at --jobs=1 vs %.0fms at --jobs=%zu "
+              "(efficiency %.3f, host_cpus=%u)\n",
+              cpu1_total, cpun_total, jobs, cpu_efficiency, host_cpus);
+
   const std::string path = cfg.out_dir + "/BENCH_sweep.json";
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -85,6 +106,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f, "{\n  \"bench\": \"sweep\",\n  \"jobs\": %zu,\n", jobs);
+  std::fprintf(f, "  \"host_cpus\": %u,\n", host_cpus);
   std::fprintf(f, "  \"trials\": %zu,\n  \"identical\": %s,\n", r1.size(),
                mismatches == 0 ? "true" : "false");
   std::fprintf(f,
@@ -92,15 +114,31 @@ int main(int argc, char** argv) {
                "  \"elapsed_ms_jobsN\": %.3f,\n"
                "  \"speedup\": %.3f,\n",
                elapsed1, elapsedn, speedup);
+  std::fprintf(f,
+               "  \"cpu_ms_jobs1\": %.3f,\n"
+               "  \"cpu_ms_jobsN\": %.3f,\n"
+               "  \"cpu_efficiency\": %.3f,\n",
+               cpu1_total, cpun_total, cpu_efficiency);
   std::fprintf(f, "  \"per_trial\": [\n");
   for (std::size_t i = 0; i < r1.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"seed\": %llu, "
                  "\"wall_ms_jobs1\": %.3f, \"wall_ms_jobsN\": %.3f, "
+                 "\"cpu_ms_jobs1\": %.3f, \"cpu_ms_jobsN\": %.3f, "
+                 "\"attr_blocks\": %llu, \"attr_hits\": %llu, "
+                 "\"attr_misses\": %llu, \"attr_arena_bytes\": %llu, "
+                 "\"sched_events\": %llu, \"sched_pool_capacity\": %llu, "
                  "\"converged\": %s}%s\n",
                  r1[i].scenario.c_str(),
                  static_cast<unsigned long long>(r1[i].seed), r1[i].wall_ms,
-                 rn[i].wall_ms, r1[i].converged ? "true" : "false",
+                 rn[i].wall_ms, r1[i].cpu_ms, rn[i].cpu_ms,
+                 static_cast<unsigned long long>(r1[i].attr_blocks),
+                 static_cast<unsigned long long>(r1[i].attr_hits),
+                 static_cast<unsigned long long>(r1[i].attr_misses),
+                 static_cast<unsigned long long>(r1[i].attr_arena_bytes),
+                 static_cast<unsigned long long>(r1[i].sched_events),
+                 static_cast<unsigned long long>(r1[i].sched_pool_capacity),
+                 r1[i].converged ? "true" : "false",
                  i + 1 < r1.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -2,7 +2,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <vector>
 
@@ -28,11 +27,13 @@ inline constexpr ExtCommunity kAbrrReflectedCommunity = 0xABBA'0000'0000'0001ULL
 
 /// The attribute set carried by a route.
 ///
-/// Immutable once built and shared between RIB entries via
-/// std::shared_ptr. make_attrs() canonicalizes blocks through the
-/// process-wide AttrsInterner (bgp/attrs_intern.h), mirroring how real
-/// BGP implementations intern attribute sets (Quagga's attrhash), so
-/// equal live blocks are pointer-identical.
+/// Immutable once built and shared between RIB entries by plain
+/// pointer. make_attrs() canonicalizes blocks through the calling
+/// thread's AttrsInterner (bgp/attrs_intern.h), mirroring how real BGP
+/// implementations intern attribute sets (Quagga's attrhash), so equal
+/// live blocks are pointer-identical. Blocks live in interner-owned
+/// slabs and stay valid until that interner is reset between trials —
+/// copying a Route is pointer-cheap, with no refcount traffic.
 struct PathAttrs {
   AsPath as_path;
   Origin origin = Origin::kIncomplete;
@@ -71,8 +72,9 @@ struct PathAttrs {
   }
 };
 
-/// Shared immutable attribute handle.
-using AttrsPtr = std::shared_ptr<const PathAttrs>;
+/// Shared immutable attribute handle: a stable pointer into the owning
+/// AttrsInterner's slab storage (see lifetime note above).
+using AttrsPtr = const PathAttrs*;
 
 /// Interns an attribute set (by-value construction helper): computes the
 /// content hash and canonicalizes through AttrsInterner::global().
@@ -82,7 +84,7 @@ AttrsPtr make_attrs(PathAttrs attrs);
 /// The clone's cached hash is invalidated so the mutated block gets a
 /// fresh one (make_attrs recomputes unconditionally).
 template <typename Fn>
-AttrsPtr with_attrs(const AttrsPtr& base, Fn&& mutate) {
+AttrsPtr with_attrs(AttrsPtr base, Fn&& mutate) {
   PathAttrs copy = *base;
   mutate(copy);
   return make_attrs(std::move(copy));

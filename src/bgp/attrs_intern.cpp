@@ -1,6 +1,6 @@
 #include "bgp/attrs_intern.h"
 
-#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace abrr::bgp {
@@ -8,9 +8,22 @@ namespace {
 
 thread_local bool g_interning_enabled = true;
 
-// Sweep the whole table after this many interns; bounds the dead
-// weak_ptr population under attribute churn (MED/path-change replays).
-constexpr std::uint64_t kSweepInterval = 1 << 16;
+// The active interner for this thread. Null means "use the default
+// per-thread instance"; a TrialScope points it at the trial pool.
+thread_local AttrsInterner* g_active_interner = nullptr;
+
+AttrsInterner& default_interner() {
+  static thread_local AttrsInterner interner;
+  return interner;
+}
+
+// The per-worker trial pool TrialScope activates. Separate from the
+// default instance so a surrounding test/CLI context holding routes is
+// never invalidated by a trial's entry reset.
+AttrsInterner& trial_pool() {
+  static thread_local AttrsInterner pool;
+  return pool;
+}
 
 void mix(std::uint64_t& h, std::uint64_t v) {
   h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -43,8 +56,8 @@ AttrsInterner& AttrsInterner::global() {
   // per-thread table keeps every trial thread-confined with zero
   // synchronization; interning never changes results (only folds equal
   // allocations), so per-thread tables cannot affect determinism.
-  static thread_local AttrsInterner interner;
-  return interner;
+  AttrsInterner* active = g_active_interner;
+  return active != nullptr ? *active : default_interner();
 }
 
 void AttrsInterner::set_enabled(bool enabled) { g_interning_enabled = enabled; }
@@ -53,54 +66,45 @@ bool AttrsInterner::enabled() { return g_interning_enabled; }
 AttrsPtr AttrsInterner::intern(PathAttrs&& attrs) {
   if (attrs.content_hash == 0) attrs.content_hash = attrs_content_hash(attrs);
   if (!g_interning_enabled) {
-    return std::make_shared<const PathAttrs>(std::move(attrs));
+    // Legacy mode: fresh slab slot per block, no canonicalization. The
+    // slot is still reclaimed by the next reset, not by refcounts.
+    return arena_.create<PathAttrs>(std::move(attrs));
   }
 
-  if (++ops_since_sweep_ >= kSweepInterval) {
-    ops_since_sweep_ = 0;
-    collect();
-  }
-
-  auto& bucket = table_[attrs.content_hash];
-  for (std::size_t i = 0; i < bucket.size();) {
-    if (AttrsPtr live = bucket[i].lock()) {
-      if (*live == attrs) {
-        ++hits_;
-        return live;
-      }
-      ++i;
-    } else {
-      // Opportunistic pruning keeps collided buckets short.
-      bucket[i] = std::move(bucket.back());
-      bucket.pop_back();
+  const auto [begin, end] = table_.equal_range(attrs.content_hash);
+  for (auto it = begin; it != end; ++it) {
+    if (*it->second == attrs) {
+      ++hits_;
+      return it->second;
     }
   }
   ++misses_;
-  auto canonical = std::make_shared<const PathAttrs>(std::move(attrs));
-  bucket.push_back(canonical);
-  return canonical;
+  const PathAttrs* block = arena_.create<PathAttrs>(std::move(attrs));
+  table_.emplace(block->content_hash, block);
+  return block;
 }
 
-std::size_t AttrsInterner::live_blocks() const {
-  std::size_t n = 0;
-  for (const auto& [hash, bucket] : table_) {
-    for (const auto& weak : bucket) n += weak.expired() ? 0 : 1;
-  }
-  return n;
+void AttrsInterner::reserve(std::size_t expected_blocks) {
+  table_.reserve(expected_blocks);
+  arena_.reserve(expected_blocks * sizeof(PathAttrs));
 }
 
-std::size_t AttrsInterner::collect() {
-  std::size_t removed = 0;
-  for (auto it = table_.begin(); it != table_.end();) {
-    auto& bucket = it->second;
-    const auto dead = std::remove_if(
-        bucket.begin(), bucket.end(),
-        [](const std::weak_ptr<const PathAttrs>& w) { return w.expired(); });
-    removed += static_cast<std::size_t>(bucket.end() - dead);
-    bucket.erase(dead, bucket.end());
-    it = bucket.empty() ? table_.erase(it) : std::next(it);
-  }
-  return removed;
+void AttrsInterner::reset() {
+  table_.clear();
+  arena_.reset();
 }
+
+AttrsInterner::TrialScope::TrialScope(std::size_t expected_blocks)
+    : pool_(trial_pool()), prev_(g_active_interner) {
+  assert(prev_ != &pool_ && "TrialScope is not reentrant");
+  // Reset on entry: the only routes ever allocated from the trial pool
+  // belong to the previous trial on this worker, which has completed.
+  pool_.reset();
+  pool_.reset_stats();
+  if (expected_blocks != 0) pool_.reserve(expected_blocks);
+  g_active_interner = &pool_;
+}
+
+AttrsInterner::TrialScope::~TrialScope() { g_active_interner = prev_; }
 
 }  // namespace abrr::bgp

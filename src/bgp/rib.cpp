@@ -7,9 +7,9 @@ namespace abrr::bgp {
 namespace {
 
 struct KeyLess {
-  bool operator()(const std::pair<std::pair<RouterId, PathId>, Route>& entry,
+  bool operator()(const Route& entry,
                   const std::pair<RouterId, PathId>& key) const {
-    return entry.first < key;
+    return AdjRibIn::key_of(entry) < key;
   }
 };
 
@@ -71,16 +71,16 @@ AdjRibIn::Change AdjRibIn::announce(const Route& route) {
   const Key key{route.learned_from, route.path_id};
   const auto it =
       std::lower_bound(paths.begin(), paths.end(), key, KeyLess{});
-  if (it == paths.end() || it->first != key) {
-    paths.insert(it, {key, route});
+  if (it == paths.end() || key_of(*it) != key) {
+    paths.insert(it, route);
     ++size_;
     ++per_peer_[route.learned_from];
     return Change::kAdded;
   }
-  if (it->second.same_announcement(route) && it->second.via == route.via) {
+  if (it->same_announcement(route) && it->via == route.via) {
     return Change::kUnchanged;
   }
-  it->second = route;
+  *it = route;
   return Change::kReplaced;
 }
 
@@ -90,7 +90,7 @@ bool AdjRibIn::withdraw(RouterId peer, const Ipv4Prefix& prefix,
   const Key key{peer, path_id};
   const auto it =
       std::lower_bound(paths.begin(), paths.end(), key, KeyLess{});
-  if (it == paths.end() || it->first != key) {
+  if (it == paths.end() || key_of(*it) != key) {
     erase_if_empty(prefix);
     return false;
   }
@@ -104,8 +104,8 @@ bool AdjRibIn::withdraw(RouterId peer, const Ipv4Prefix& prefix,
 std::size_t AdjRibIn::withdraw_prefix(RouterId peer, const Ipv4Prefix& prefix) {
   PathList& paths = ensure_list(prefix);
   const std::size_t before = paths.size();
-  std::erase_if(paths, [&](const auto& entry) {
-    return entry.first.first == peer;
+  std::erase_if(paths, [&](const Route& entry) {
+    return entry.learned_from == peer;
   });
   const std::size_t removed = before - paths.size();
   size_ -= removed;
@@ -118,8 +118,8 @@ std::vector<Ipv4Prefix> AdjRibIn::withdraw_peer(RouterId peer) {
   std::vector<Ipv4Prefix> affected;
   const auto purge = [&](const Ipv4Prefix& prefix, PathList& paths) {
     const std::size_t before = paths.size();
-    std::erase_if(paths, [&](const auto& entry) {
-      return entry.first.first == peer;
+    std::erase_if(paths, [&](const Route& entry) {
+      return entry.learned_from == peer;
     });
     if (paths.size() != before) {
       affected.push_back(prefix);
@@ -145,7 +145,7 @@ std::vector<Route> AdjRibIn::routes_for(const Ipv4Prefix& prefix) const {
   const PathList* paths = find_list(prefix);
   if (paths == nullptr) return out;
   out.reserve(paths->size());
-  for (const auto& [key, route] : *paths) out.push_back(route);
+  out.assign(paths->begin(), paths->end());
   return out;
 }
 
@@ -155,7 +155,7 @@ void AdjRibIn::routes_for(const Ipv4Prefix& prefix,
   const PathList* paths = find_list(prefix);
   if (paths == nullptr) return;
   out.reserve(paths->size());
-  for (const auto& [key, route] : *paths) out.push_back(&route);
+  for (const Route& route : *paths) out.push_back(&route);
 }
 
 std::size_t AdjRibIn::peer_size(RouterId peer) const {
@@ -165,10 +165,10 @@ std::size_t AdjRibIn::peer_size(RouterId peer) const {
 
 void AdjRibIn::for_each(const std::function<void(const Route&)>& fn) const {
   for (const PathList& paths : flat_) {
-    for (const auto& [key, route] : paths) fn(route);
+    for (const Route& route : paths) fn(route);
   }
   for (const auto& [prefix, paths] : table_) {
-    for (const auto& [key, route] : paths) fn(route);
+    for (const Route& route : paths) fn(route);
   }
 }
 

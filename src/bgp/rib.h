@@ -72,11 +72,19 @@ class AdjRibIn {
   /// Drops every entry (router crash with state loss). Keeps the index.
   void clear();
 
- private:
+  /// Storage key of an entry: (sending peer, add-paths path id).
   using Key = std::pair<RouterId, PathId>;
-  /// Sorted-by-key flat path list: node-free storage whose iteration
-  /// order matches the std::map it replaced.
-  using PathList = std::vector<std::pair<Key, Route>>;
+  static Key key_of(const Route& route) {
+    return Key{route.learned_from, route.path_id};
+  }
+
+ private:
+  /// Sorted flat path list: node-free storage whose iteration order
+  /// matches the std::map it replaced. The sort key (learned_from,
+  /// path_id) is read from the routes themselves — storing it separately
+  /// would pad every entry by a quarter of a cache line for data the
+  /// Route already carries.
+  using PathList = std::vector<Route>;
 
   const PathList* find_list(const Ipv4Prefix& prefix) const;
   PathList& ensure_list(const Ipv4Prefix& prefix);

@@ -22,7 +22,7 @@ struct Route {
   /// add-paths path identifier; unique per prefix within the AS because
   /// it is the RouterId of the client that injected the route into iBGP.
   PathId path_id = 0;
-  AttrsPtr attrs;
+  AttrsPtr attrs = nullptr;
 
   /// Peer this router learned the route from (kNoRouter if local).
   RouterId learned_from = kNoRouter;

@@ -55,8 +55,7 @@ void Network::dispatch(RouterId from, RouterId to, ChannelState& ch,
   // at delivery time so endpoints can be replaced mid-run (e.g.
   // transition experiments) and the channel map may rehash.
   const std::uint64_t k = key(from, to);
-  scheduler_->schedule_at(at, [this, k, from, to, seq,
-                               m = std::move(msg)]() {
+  auto deliver = [this, k, from, to, seq, m = std::move(msg)]() {
     const auto cit = channels_.find(k);
     if (cit == channels_.end()) return;
     if (seq != cit->second.expect_seq) {
@@ -68,7 +67,13 @@ void Network::dispatch(RouterId from, RouterId to, ChannelState& ch,
     ++cit->second.expect_seq;
     const auto it = endpoints_.find(to);
     if (it != endpoints_.end()) it->second(from, m);
-  });
+  };
+  // The delivery closure is the dominant event on the scheduler hot path;
+  // it must stay within the pooled nodes' inline capture budget or every
+  // message delivery regains a heap allocation.
+  static_assert(sim::Scheduler::Callback::fits_inline<decltype(deliver)>(),
+                "delivery lambda exceeds Scheduler::kCallbackCapacity");
+  scheduler_->schedule_at(at, std::move(deliver));
 }
 
 void Network::send(RouterId from, RouterId to, bgp::UpdateMessage msg) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <ctime>
 #include <exception>
 #include <stdexcept>
 #include <string>
@@ -19,8 +20,20 @@ struct TrialPlan {
   std::uint64_t seed = 0;
 };
 
+double thread_cpu_ms() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) * 1e-6;
+#else
+  return 0;
+#endif
+}
+
 TrialResult execute(const TrialPlan& plan, std::size_t index) {
   const auto t0 = std::chrono::steady_clock::now();
+  const double cpu0 = thread_cpu_ms();
   TrialResult result;
   try {
     result = run_trial(*plan.spec, plan.seed, index);
@@ -31,6 +44,10 @@ TrialResult execute(const TrialPlan& plan, std::size_t index) {
     result.index = index;
     result.error = e.what();
   }
+  // Wall time inflates with host timesharing when --jobs exceeds the
+  // core count; thread CPU time does not. Reporting both lets the sweep
+  // artifact separate scheduler contention from real per-trial cost.
+  result.cpu_ms = thread_cpu_ms() - cpu0;
   result.wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)

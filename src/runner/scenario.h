@@ -107,6 +107,16 @@ struct ScenarioSpec {
   /// fault episode's hold time when the episode is enabled.
   harness::TestbedConfig testbed_config(std::uint64_t seed) const;
 
+  /// Scale hint for pre-sizing the trial's attribute interner (see
+  /// AttrsInterner::TrialScope): distinct attribute blocks grow with the
+  /// prefix count (each prefix's paths × the reflection variants ARRs
+  /// and border routers derive), largely independent of topology size
+  /// because interning folds the per-session copies. The constant floor
+  /// covers small workloads; over-estimating only rounds slab reserve up.
+  std::size_t expected_attr_blocks() const {
+    return workload.prefixes * 12 + 1024;
+  }
+
   /// Paper defaults (§4 timing: 20us/update processing, 20ms jitter),
   /// matching the historical bench::paper_options().
   static ScenarioSpec paper(ibgp::IbgpMode mode, std::size_t num_aps,

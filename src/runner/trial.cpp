@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "bgp/attrs_intern.h"
 #include "fault/injector.h"
 #include "fault/recovery.h"
 #include "fault/schedule.h"
@@ -156,6 +157,12 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
   r.seed = seed;
   r.index = index;
 
+  // Heap isolation: every make_attrs() below goes to this worker's trial
+  // interner, reset+pre-sized now (no route of the previous trial on
+  // this thread can still be alive) and reused slab-for-slab by the next
+  // trial. Parallel trials therefore never contend on attribute storage.
+  bgp::AttrsInterner::TrialScope attrs_scope{spec.expected_attr_blocks()};
+
   // Everything below is regenerated from (spec, seed): the trial shares
   // no state with any other trial and never leaves this thread.
   sim::Rng rng{seed};
@@ -235,6 +242,16 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
   r.client_totals = bed.client_counters();
   r.fingerprint = fault::rib_fingerprint(bed);
   r.metrics_json = bed.metrics().to_json(/*aggregate=*/true);
+
+  // Allocation telemetry, collected while the bed is still alive. Every
+  // field is simulation-determined (see TrialResult), so it serializes.
+  const bgp::AttrsInterner& interner = attrs_scope.interner();
+  r.attr_blocks = interner.live_blocks();
+  r.attr_hits = interner.hits();
+  r.attr_misses = interner.misses();
+  r.attr_arena_bytes = interner.arena_bytes();
+  r.sched_events = bed.scheduler().events_executed();
+  r.sched_pool_capacity = bed.scheduler().pool_capacity();
   return r;
 }
 
@@ -290,6 +307,13 @@ std::string TrialResult::serialize() const {
   out += ",";
   append(out, "\"fingerprint\":\"%016" PRIx64 "\",", fingerprint);
   append(out, "\"trace_events\":%" PRIu64 ",", trace_events);
+  append(out,
+         "\"alloc\":{\"attr_blocks\":%" PRIu64 ",\"attr_hits\":%" PRIu64
+         ",\"attr_misses\":%" PRIu64 ",\"attr_arena_bytes\":%" PRIu64
+         ",\"sched_events\":%" PRIu64 ",\"sched_pool_capacity\":%" PRIu64
+         "},",
+         attr_blocks, attr_hits, attr_misses, attr_arena_bytes, sched_events,
+         sched_pool_capacity);
   append(out,
          "\"fault\":{\"ran\":%s,\"victim\":%u,\"detection_ms\":%.3f,"
          "\"blackout_ms\":%.3f,\"recovery_ms\":%.3f,"

@@ -58,9 +58,26 @@ struct TrialResult {
   /// (MetricsRegistry::to_json(aggregate=true)).
   std::string metrics_json;
 
+  /// Allocation telemetry of the trial's heap-isolated pools. All of it
+  /// is a function of the simulated run alone, so it is PART of
+  /// serialize(): a trial that allocates differently across --jobs
+  /// levels would trip the determinism matrix, not just the perf report.
+  std::uint64_t attr_blocks = 0;       // distinct interned attribute sets
+  std::uint64_t attr_hits = 0;         // intern() canonicalization hits
+  std::uint64_t attr_misses = 0;       // intern() fresh blocks
+  std::uint64_t attr_arena_bytes = 0;  // slab bytes the blocks occupy
+  std::uint64_t sched_events = 0;      // scheduler events executed
+  std::uint64_t sched_pool_capacity = 0;  // event-pool high-water, nodes
+
   /// Real (wall-clock) execution time of the trial on its worker.
   /// Excluded from serialize().
   double wall_ms = 0;
+
+  /// Thread CPU time consumed by the trial (CLOCK_THREAD_CPUTIME_ID).
+  /// Excluded from serialize(). On a host with fewer cores than --jobs,
+  /// wall_ms inflates with timesharing while cpu_ms stays flat — the
+  /// honest signal that parallelism is contention-free.
+  double cpu_ms = 0;
 
   /// Canonical deterministic JSON rendering (no wall-clock content).
   std::string serialize() const;

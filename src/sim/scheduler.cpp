@@ -5,71 +5,124 @@
 
 namespace abrr::sim {
 
-EventId Scheduler::schedule_at(Time at, std::function<void()> fn) {
+std::uint32_t Scheduler::acquire_slot() {
+  if (free_head_ == kNilSlot) {
+    // Grow by one slab; existing nodes never move (slot indices and the
+    // heap items referring to them stay valid).
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(slabs_.size()) * kSlabSize;
+    slabs_.push_back(std::make_unique<Node[]>(kSlabSize));
+    // Live events are bounded by pool capacity, so sizing the heap with
+    // the pool keeps pushes free of vector growth on the hot path.
+    queue_.reserve(slabs_.size() * kSlabSize);
+    for (std::uint32_t i = kSlabSize; i-- > 0;) {
+      Node& n = slabs_.back()[i];
+      n.next_free = free_head_;
+      free_head_ = base + i;
+    }
+  }
+  const std::uint32_t slot = free_head_;
+  free_head_ = node(slot).next_free;
+  return slot;
+}
+
+void Scheduler::release_slot(std::uint32_t slot) {
+  Node& n = node(slot);
+  n.scheduled = false;
+  ++n.gen;
+  if (n.gen == 0) n.gen = 1;  // 0 would make slot 0's id collide with "invalid"
+  n.next_free = free_head_;
+  free_head_ = slot;
+}
+
+EventId Scheduler::schedule_impl(Time at, Callback&& fn, bool weak) {
   confined_.check();
   if (!fn) throw std::invalid_argument{"schedule_at: empty callback"};
   if (at < now_) at = now_;
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+  const std::uint32_t slot = acquire_slot();
+  Node& n = node(slot);
+  n.fn = std::move(fn);
+  n.at = at;
+  n.seq = next_seq_++;
+  n.scheduled = true;
+  n.weak = weak;
+  if (weak) {
+    ++weak_pending_;
+  } else {
+    ++strong_pending_;
+  }
+  queue_.push(HeapItem{n.at, n.seq, slot});
+  return (static_cast<EventId>(slot) << 32) | n.gen;
 }
 
-EventId Scheduler::schedule_after(Time delay, std::function<void()> fn) {
+EventId Scheduler::schedule_at(Time at, Callback fn) {
+  return schedule_impl(at, std::move(fn), /*weak=*/false);
+}
+
+EventId Scheduler::schedule_after(Time delay, Callback fn) {
   if (delay < 0) throw std::invalid_argument{"schedule_after: negative delay"};
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_impl(now_ + delay, std::move(fn), /*weak=*/false);
 }
 
-EventId Scheduler::schedule_weak_at(Time at, std::function<void()> fn) {
-  const EventId id = schedule_at(at, std::move(fn));
-  weak_pending_.insert(id);
-  return id;
+EventId Scheduler::schedule_weak_at(Time at, Callback fn) {
+  return schedule_impl(at, std::move(fn), /*weak=*/true);
 }
 
-EventId Scheduler::schedule_weak_after(Time delay, std::function<void()> fn) {
+EventId Scheduler::schedule_weak_after(Time delay, Callback fn) {
   if (delay < 0) {
     throw std::invalid_argument{"schedule_weak_after: negative delay"};
   }
-  return schedule_weak_at(now_ + delay, std::move(fn));
+  return schedule_impl(now_ + delay, std::move(fn), /*weak=*/true);
 }
 
 void Scheduler::cancel(EventId id) {
   confined_.check();
-  // Only a live pending event grows the tombstone set; cancelling a
-  // fired, unknown or already-cancelled id must not (such inserts would
-  // accumulate forever and break has_pending()).
-  if (pending_.erase(id) != 0) {
-    weak_pending_.erase(id);
-    cancelled_.insert(id);
+  const std::uint32_t slot = static_cast<std::uint32_t>(id >> 32);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id);
+  if (gen == 0 || slot >= pool_capacity()) return;
+  Node& n = node(slot);
+  // A fired, cancelled or recycled slot carries a newer generation, so
+  // stale ids fall out here — no tombstone set to maintain.
+  if (!n.scheduled || n.gen != gen) return;
+  if (n.weak) {
+    --weak_pending_;
+  } else {
+    --strong_pending_;
   }
+  n.fn = Callback{};  // drop captured state eagerly
+  release_slot(slot);  // the heap item is discarded lazily via drop_stale()
 }
 
-void Scheduler::skip_cancelled() {
-  while (!queue_.empty() && cancelled_.count(queue_.top().id) != 0) {
-    cancelled_.erase(queue_.top().id);
-    queue_.pop();
-  }
+void Scheduler::drop_stale() {
+  while (!queue_.empty() && !is_live(queue_.top())) queue_.pop();
 }
 
 bool Scheduler::step() {
   confined_.check();
-  skip_cancelled();
+  drop_stale();
   if (queue_.empty()) return false;
-  // Move the entry out before popping so the callback can schedule/cancel.
-  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  const HeapItem item = queue_.top();
   queue_.pop();
-  pending_.erase(entry.id);
-  weak_pending_.erase(entry.id);
-  now_ = entry.at;
+  Node& n = node(item.slot);
+  // Move the callback out and recycle the slot *before* invoking, so the
+  // callback is free to schedule into (or cancel within) the pool.
+  Callback fn = std::move(n.fn);
+  if (n.weak) {
+    --weak_pending_;
+  } else {
+    --strong_pending_;
+  }
+  release_slot(item.slot);
+  now_ = item.at;
   ++executed_;
-  entry.fn();
+  fn();
   return true;
 }
 
 std::size_t Scheduler::run_until(Time deadline) {
   std::size_t n = 0;
   for (;;) {
-    skip_cancelled();
+    drop_stale();
     if (queue_.empty() || queue_.top().at > deadline) break;
     step();
     ++n;

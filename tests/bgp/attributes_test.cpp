@@ -58,7 +58,7 @@ TEST(PathAttrs, WithAttrsCopiesOnWrite) {
       with_attrs(base, [](PathAttrs& a) { a.local_pref = 200; });
   EXPECT_EQ(base->local_pref, 100u);
   EXPECT_EQ(derived->local_pref, 200u);
-  EXPECT_NE(base.get(), derived.get());
+  EXPECT_NE(base, derived);
 }
 
 TEST(Route, SameAnnouncementComparesContent) {

@@ -56,14 +56,14 @@ TEST(AttrsInterner, CanonicalizesEqualBlocks) {
   const AttrsPtr a = make_attrs(sample_attrs());
   const AttrsPtr b = make_attrs(sample_attrs());
   // Equal content -> the very same canonical block.
-  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a, b);
   EXPECT_EQ(*a, *b);
   EXPECT_NE(a->content_hash, 0u);
 
   PathAttrs other = sample_attrs();
   other.local_pref = 300;
   const AttrsPtr c = make_attrs(std::move(other));
-  EXPECT_NE(a.get(), c.get());
+  EXPECT_NE(a, c);
   EXPECT_FALSE(*a == *c);
 }
 
@@ -72,7 +72,7 @@ TEST(AttrsInterner, MutationThroughWithAttrsNeverAliases) {
   const AttrsPtr b = with_attrs(a, [](PathAttrs& m) { m.local_pref = 999; });
   // The clone is a distinct block with a recomputed hash; the original
   // is untouched (no false sharing after mutation).
-  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a, b);
   EXPECT_EQ(a->local_pref, 200u);
   EXPECT_EQ(b->local_pref, 999u);
   EXPECT_NE(a->content_hash, b->content_hash);
@@ -82,22 +82,25 @@ TEST(AttrsInterner, MutationThroughWithAttrsNeverAliases) {
   // Mutating back to the original content re-canonicalizes to the
   // original block.
   const AttrsPtr c = with_attrs(b, [](PathAttrs& m) { m.local_pref = 200; });
-  EXPECT_EQ(c.get(), a.get());
+  EXPECT_EQ(c, a);
 }
 
-TEST(AttrsInterner, WeakTableDoesNotExtendLifetimes) {
+TEST(AttrsInterner, BlocksAreStableAcrossTableGrowth) {
+  // Slab storage hands out pointers that survive any amount of later
+  // interning (the table may rehash; blocks never move).
   AttrsInterner& interner = AttrsInterner::global();
-  interner.collect();
-  const std::size_t before = interner.live_blocks();
-  {
-    PathAttrs unique = sample_attrs();
-    unique.local_pref = 123456;  // content used nowhere else
-    const AttrsPtr a = make_attrs(std::move(unique));
-    EXPECT_EQ(interner.live_blocks(), before + 1);
+  PathAttrs first = sample_attrs();
+  first.local_pref = 111111;
+  const AttrsPtr a = make_attrs(PathAttrs{first});
+  const std::uint64_t hash = a->content_hash;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    PathAttrs filler = sample_attrs();
+    filler.local_pref = 200000 + i;
+    make_attrs(std::move(filler));
   }
-  // The only strong reference died with `a`; a sweep drops the entry.
-  interner.collect();
-  EXPECT_EQ(interner.live_blocks(), before);
+  EXPECT_GE(interner.live_blocks(), 2001u);
+  EXPECT_EQ(a->content_hash, hash);
+  EXPECT_EQ(make_attrs(PathAttrs{first}), a);  // still canonical
 }
 
 TEST(AttrsInterner, HitAndMissAccounting) {
@@ -109,15 +112,15 @@ TEST(AttrsInterner, HitAndMissAccounting) {
   const AttrsPtr b = make_attrs(PathAttrs{unique});
   EXPECT_EQ(interner.misses(), 1u);
   EXPECT_EQ(interner.hits(), 1u);
-  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a, b);
 }
 
 TEST(AttrsInterner, DisabledProducesFreshBlocksWithHashes) {
   ScopedInterningDisabled guard;
   const AttrsPtr a = make_attrs(sample_attrs());
   const AttrsPtr b = make_attrs(sample_attrs());
-  EXPECT_NE(a.get(), b.get());  // no canonicalization
-  EXPECT_EQ(*a, *b);            // ...but identical content
+  EXPECT_NE(a, b);    // no canonicalization
+  EXPECT_EQ(*a, *b);  // ...but identical content
   // Hashes are still computed so same_announcement stays O(1).
   EXPECT_EQ(a->content_hash, b->content_hash);
   EXPECT_NE(a->content_hash, 0u);
