@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Replays the seeded observability fault drill and exports its
-# chrome://tracing timeline (plus the metrics dump and RIB time series).
+# chrome://tracing timeline (plus the metrics dump, RIB time series, and
+# a pcap of every BGP message the drill sent).
 #
 # Usage: bench/export_trace.sh [build-dir] [--seed=N] [--out-dir=DIR]
 # Defaults: build dir ./build, seed 42, artifacts in ./obs-drill/.
 # Open the resulting trace.json via chrome://tracing or
-# https://ui.perfetto.dev. Same seed => bit-identical artifacts.
+# https://ui.perfetto.dev, and capture.pcap in Wireshark (sessions
+# reassemble as BGP streams on port 179).
+# Same seed => bit-identical artifacts.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -44,3 +47,4 @@ fi
 mkdir -p "$out_dir"
 "$drill_bin" --seed="$seed" --out-dir="$out_dir"
 echo "open $out_dir/trace.json in chrome://tracing (or ui.perfetto.dev)"
+echo "open $out_dir/capture.pcap in Wireshark (BGP on port 179)"

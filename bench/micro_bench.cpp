@@ -31,6 +31,7 @@
 #include "sim/random.h"
 #include "sim/scheduler.h"
 #include "topo/topology.h"
+#include "wire/codec.h"
 
 namespace {
 
@@ -362,6 +363,43 @@ void BM_RouteSetHash_Legacy(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RouteSetHash_Legacy);
+
+// Wire codec hot paths: Network::send runs one of these per message.
+// The sizer is the per-send cost (cached attr-block lengths, so steady
+// state is arithmetic); the encoder only runs when packet capture is on.
+bgp::UpdateMessage make_wire_message(std::size_t n_routes) {
+  sim::Rng rng{6};
+  const auto candidates = make_candidates(n_routes, rng);
+  bgp::UpdateMessage m;
+  m.prefix = Ipv4Prefix::parse("10.0.0.0/8");
+  m.full_set = true;
+  m.announce.assign(candidates.begin(), candidates.end());
+  return m;
+}
+
+void BM_EncodeUpdate(benchmark::State& state) {
+  const auto m = make_wire_message(static_cast<std::size_t>(state.range(0)));
+  wire::Encoder enc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(m).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EncodeUpdate)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_WireSize(benchmark::State& state) {
+  const auto m = make_wire_message(static_cast<std::size_t>(state.range(0)));
+  wire::WireSizer sizer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sizer.message_size(m));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  state.counters["cached_blocks"] =
+      static_cast<double>(sizer.cached_blocks());
+}
+BENCHMARK(BM_WireSize)->Arg(1)->Arg(10)->Arg(100);
 
 // ---------------------------------------------------------------------
 // End-to-end: a small TBRR deployment converging on an initial snapshot

@@ -8,6 +8,10 @@
 //                           virtual-time cadence
 //   <out-dir>/trace.json    chrome://tracing timeline of the drill
 //                           (load via chrome://tracing or Perfetto)
+//   <out-dir>/capture.pcap  every control-plane message the drill sent,
+//                           as RFC 4271 wire bytes in a classic pcap
+//                           (open in Wireshark; sessions reassemble as
+//                           BGP streams on port 179)
 //
 // The run is pure virtual time: two invocations with the same --seed
 // produce bit-identical files. bench/export_trace.sh wraps this binary.
@@ -36,6 +40,7 @@ int main(int argc, char** argv) {
   options.hold_time = sim::sec(3);  // arm failure detection
   options.obs.enabled = true;
   options.obs.sample_period = sim::msec(500);
+  options.obs.pcap_frames = std::size_t{1} << 18;  // keep the whole drill
   harness::Testbed bed{topology, options, prefixes};
 
   trace::RouteRegenerator regen{bed.scheduler(), workload, bed.inject_fn()};
@@ -60,9 +65,11 @@ int main(int argc, char** argv) {
   const std::string metrics_path = out_dir + "/metrics.json";
   const std::string series_path = out_dir + "/series.csv";
   const std::string trace_path = out_dir + "/trace.json";
+  const std::string pcap_path = out_dir + "/capture.pcap";
   bed.metrics().write_json(metrics_path, /*aggregate=*/true);
   bed.sampler()->write_csv(series_path);
   bed.tracer()->write_chrome_json(trace_path);
+  bed.tracer()->write_pcap(pcap_path);
 
   std::printf("obs drill: seed=%llu faults=%zu (fired=%llu repairs=%llu) "
               "sim-time=%.1fs\n",
@@ -78,5 +85,10 @@ int main(int argc, char** argv) {
   std::printf("  trace:   %zu events (%zu dropped) -> %s\n",
               bed.tracer()->size(), bed.tracer()->dropped(),
               trace_path.c_str());
+  const obs::PacketCapture* cap = bed.tracer()->packets();
+  std::printf("  pcap:    %zu frames (%llu dropped, %zu payload bytes) -> "
+              "%s\n",
+              cap->size(), static_cast<unsigned long long>(cap->dropped()),
+              cap->payload_bytes(), pcap_path.c_str());
   return 0;
 }

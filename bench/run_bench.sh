@@ -83,10 +83,13 @@ fi
 check_build_current() {
   [[ "${ABRR_ALLOW_STALE:-0}" == "1" ]] && return 0
   local newest_src
+  # `|| true`: head(1) closing the pipe early can SIGPIPE find/sort,
+  # which pipefail would otherwise turn into a spurious abort.
   newest_src="$(find "$repo_root/src" "$repo_root/bench" \
       "$repo_root/CMakeLists.txt" -type f \
       \( -name '*.cpp' -o -name '*.h' -o -name 'CMakeLists.txt' \) \
-      -printf '%T@ %p\n' 2>/dev/null | sort -nr | head -1 | cut -d' ' -f2-)"
+      -printf '%T@ %p\n' 2>/dev/null | sort -nr | head -1 | cut -d' ' -f2- \
+      || true)"
   [[ -z "$newest_src" ]] && return 0
   if [[ -z "$(find "$build_dir" -type f -newer "$newest_src" -print -quit)" ]]; then
     echo "error: '$build_dir' predates $newest_src" >&2
@@ -108,12 +111,13 @@ bench_bin="$build_dir/bench/micro_bench"
 check_fresh "$bench_bin"
 
 # Preflight: the allocation-path tests (arena, scheduler event pool,
-# interner trial scope) guard exactly the machinery these benches
-# measure — refuse to publish numbers from a build where they fail.
+# interner trial scope) guard the machinery these benches measure, and
+# the wire suite guards the measured byte columns the reports now carry
+# — refuse to publish numbers from a build where either fails.
 if command -v ctest >/dev/null 2>&1; then
-  echo "preflight: ctest -L alloc in $build_dir"
-  if ! ctest --test-dir "$build_dir" -L alloc --output-on-failure; then
-    echo "error: allocation-path tests failed; not running benches" >&2
+  echo "preflight: ctest -L '(alloc|wire)' in $build_dir"
+  if ! ctest --test-dir "$build_dir" -L '(alloc|wire)' --output-on-failure; then
+    echo "error: preflight tests failed; not running benches" >&2
     exit 1
   fi
 fi

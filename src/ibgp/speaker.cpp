@@ -65,6 +65,7 @@ void Speaker::register_metrics() {
   c_.generated_to_rrs = c("speaker.generated_to_rrs");
   c_.updates_transmitted = c("speaker.updates_transmitted");
   c_.bytes_transmitted = c("speaker.bytes_transmitted");
+  c_.wire_bytes_transmitted = c("speaker.wire_bytes_transmitted");
   c_.routes_transmitted = c("speaker.routes_transmitted");
   c_.loops_suppressed = c("speaker.loops_suppressed");
   c_.misdirected = c("speaker.misdirected");
@@ -89,6 +90,7 @@ SpeakerCounters Speaker::counters() const {
   v.generated_to_rrs = c_.generated_to_rrs->value();
   v.updates_transmitted = c_.updates_transmitted->value();
   v.bytes_transmitted = c_.bytes_transmitted->value();
+  v.wire_bytes_transmitted = c_.wire_bytes_transmitted->value();
   v.routes_transmitted = c_.routes_transmitted->value();
   v.loops_suppressed = c_.loops_suppressed->value();
   v.misdirected = c_.misdirected->value();
@@ -857,6 +859,7 @@ void Speaker::transmit(PeerState& ps, int key, const Ipv4Prefix& prefix) {
   c_.updates_transmitted->inc();
   c_.routes_transmitted->inc(msg.announce.size());
   c_.bytes_transmitted->inc(msg.wire_size());
+  c_.wire_bytes_transmitted->inc(network_->wire_size(msg));
   if (tracer_ != nullptr) {
     tracer_->record(obs::TraceEventKind::kUpdateTx, config_.id, ps.info.id,
                     msg.announce.size());

@@ -15,6 +15,7 @@
 #include "obs/tracer.h"
 #include "sim/random.h"
 #include "sim/scheduler.h"
+#include "wire/codec.h"
 
 namespace abrr::net {
 
@@ -95,11 +96,26 @@ class Network {
   /// Records kMsgDrop events for fault-hook losses. Null disables.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
-  /// Aggregate counters.
+  /// Aggregate counters. total_bytes() is measured: the sum of the
+  /// exact RFC 4271 encoded lengths each message occupies on the wire
+  /// (wire::WireSizer, O(1) per message after the first encode of an
+  /// interned attribute block). total_modeled_bytes() keeps the legacy
+  /// closed-form estimate for modeled-vs-measured comparison.
   std::uint64_t total_messages() const { return total_messages_; }
   std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_modeled_bytes() const { return total_modeled_bytes_; }
   /// Messages dropped by fault hooks (loss, dead endpoints, resets).
   std::uint64_t total_dropped() const { return total_dropped_; }
+
+  /// Exact encoded size of `msg` on the wire (cached per interned
+  /// attribute block). Speakers use this for their own byte counters so
+  /// every layer reports the same measured number.
+  std::uint64_t wire_size(const bgp::UpdateMessage& msg) {
+    return sizer_.message_size(msg);
+  }
+
+  /// Attribute blocks the size cache has resolved (introspection).
+  std::size_t sizer_cached_blocks() const { return sizer_.cached_blocks(); }
 
   /// Per-directed-channel counters, or nullptr if not connected.
   const ChannelState* channel(RouterId from, RouterId to) const;
@@ -123,11 +139,19 @@ class Network {
   std::unordered_set<RouterId> down_endpoints_;
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_modeled_bytes_ = 0;
   std::uint64_t total_dropped_ = 0;
+
+  // Exact-size oracle; safe to cache per attrs pointer because the
+  // network lives inside one interner TrialScope.
+  wire::WireSizer sizer_;
+  // Full encoder, used only when a pcap capture ring is attached.
+  wire::Encoder encoder_;
 
   // Optional observability handles (null when not attached).
   obs::Counter* m_messages_ = nullptr;
   obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_modeled_bytes_ = nullptr;
   obs::Counter* m_dropped_ = nullptr;
   obs::Histogram* m_msg_bytes_ = nullptr;
   obs::Tracer* tracer_ = nullptr;

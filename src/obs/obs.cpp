@@ -6,6 +6,9 @@ Obs::Obs(sim::Scheduler& scheduler, const ObsOptions& options)
     : options_(options) {
   if (options_.enabled) {
     tracer_ = std::make_unique<Tracer>(scheduler, options_.trace_capacity);
+    if (options_.pcap_frames > 0) {
+      tracer_->enable_packet_capture(options_.pcap_frames);
+    }
     sampler_ = std::make_unique<Sampler>(scheduler, options_.sample_period);
   }
 }

@@ -27,6 +27,10 @@ struct ObsOptions {
   sim::Time sample_period = sim::msec(500);
   /// Ring capacity of the event tracer.
   std::size_t trace_capacity = std::size_t{1} << 16;
+  /// When > 0 (and observability is enabled), the tracer also keeps the
+  /// last `pcap_frames` encoded wire messages in a frame ring for
+  /// Wireshark-readable pcap export (Tracer::write_pcap).
+  std::size_t pcap_frames = 0;
 };
 
 class Obs {

@@ -1,0 +1,94 @@
+// Bounded ring buffer of captured control-plane frames, exportable as a
+// classic pcap file readable in Wireshark.
+//
+// The capture stores raw already-encoded payload bytes (it has no idea
+// they are BGP — framing knowledge lives in src/wire, which obs must
+// not depend on) stamped with simulated time and the two endpoint ids.
+// write_pcap() wraps each payload in a synthesized Ethernet/IPv4/TCP
+// envelope on port 179 with per-flow cumulative sequence numbers, so
+// Wireshark reassembles each directed session into a BGP stream. Router
+// ids double as IPv4 loopbacks repo-wide (bgp/types.h), so the ids ARE
+// the capture's IP addresses.
+//
+// Ring semantics mirror the Tracer: when full, the OLDEST frame is
+// overwritten (post-mortems want the tail of a run) and dropped()
+// reports the loss; overwritten frames leave TCP sequence gaps in the
+// export, which Wireshark flags as missing segments rather than
+// mis-parsing.
+//
+// Determinism: frames carry only simulated time, ids and payload bytes,
+// so equal seeded runs export bit-identical pcap files.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace abrr::obs {
+
+class PacketCapture {
+ public:
+  /// `clock` supplies frame timestamps (must outlive the capture);
+  /// `capacity` bounds the ring in frames (>= 1).
+  PacketCapture(const sim::Scheduler& clock, std::size_t capacity);
+
+  PacketCapture(const PacketCapture&) = delete;
+  PacketCapture& operator=(const PacketCapture&) = delete;
+
+  /// Records one sent message train. `payload` is copied.
+  void record(std::uint32_t src, std::uint32_t dst, const std::uint8_t* data,
+              std::size_t size);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Frames currently retained (<= capacity).
+  std::size_t size() const { return ring_.size(); }
+  /// Frames ever recorded.
+  std::uint64_t recorded() const { return recorded_; }
+  /// Frames overwritten because the ring was full.
+  std::uint64_t dropped() const { return recorded_ - ring_.size(); }
+  /// Payload bytes currently retained.
+  std::size_t payload_bytes() const { return payload_bytes_; }
+
+  /// Visits retained frames oldest-first with their raw payload bytes:
+  /// fn(at, src, dst, payload). Tests use this to decode what was
+  /// captured without parsing the pcap envelope back.
+  void for_each(
+      const std::function<void(sim::Time, std::uint32_t, std::uint32_t,
+                               std::span<const std::uint8_t>)>& fn) const;
+
+  /// Serializes the retained frames, oldest first, as a classic pcap
+  /// (microsecond timestamps, LINKTYPE_ETHERNET).
+  std::vector<std::uint8_t> to_pcap() const;
+
+  /// Writes to_pcap() to `path`; throws std::runtime_error on I/O error.
+  void write_pcap(const std::string& path) const;
+
+  void clear();
+
+ private:
+  struct Frame {
+    sim::Time at = 0;
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint32_t seq = 0;  // cumulative per-flow TCP sequence number
+    std::vector<std::uint8_t> payload;
+  };
+
+  const sim::Scheduler* clock_;
+  std::size_t capacity_;
+  std::vector<Frame> ring_;
+  std::size_t head_ = 0;  // next overwrite position once full
+  std::uint64_t recorded_ = 0;
+  std::size_t payload_bytes_ = 0;
+  /// Per directed flow (src, dst): next TCP sequence number.
+  std::unordered_map<std::uint64_t, std::uint32_t> next_seq_;
+};
+
+}  // namespace abrr::obs

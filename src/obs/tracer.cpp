@@ -82,7 +82,21 @@ void Tracer::write_chrome_json(const std::string& path) const {
   std::fclose(f);
 }
 
+void Tracer::enable_packet_capture(std::size_t max_frames) {
+  if (packets_ == nullptr) {
+    packets_ = std::make_unique<PacketCapture>(*clock_, max_frames);
+  }
+}
+
+void Tracer::write_pcap(const std::string& path) const {
+  if (packets_ == nullptr) {
+    throw std::logic_error{"Tracer::write_pcap: packet capture not enabled"};
+  }
+  packets_->write_pcap(path);
+}
+
 void Tracer::clear() {
+  if (packets_ != nullptr) packets_->clear();
   ring_.clear();
   head_ = 0;
   recorded_ = 0;

@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/pcap.h"
 #include "sim/scheduler.h"
 #include "sim/time.h"
 
@@ -74,6 +76,21 @@ class Tracer {
   /// Writes to_chrome_json() to `path`; throws on I/O error.
   void write_chrome_json(const std::string& path) const;
 
+  /// Attaches a wire-frame capture ring (`max_frames` frames) to the
+  /// tracer. The Network feeds it the encoded bytes of every message it
+  /// sends; write_pcap() then exports a Wireshark-readable capture.
+  /// Idempotent: re-enabling keeps the existing ring.
+  void enable_packet_capture(std::size_t max_frames);
+
+  /// The attached capture, or nullptr when pcap mode is off. The
+  /// Network checks this on every send, so "off" costs one null test.
+  PacketCapture* packets() { return packets_.get(); }
+  const PacketCapture* packets() const { return packets_.get(); }
+
+  /// Writes the captured frames as a classic pcap; throws
+  /// std::logic_error when capture was never enabled.
+  void write_pcap(const std::string& path) const;
+
   void clear();
 
  private:
@@ -82,6 +99,7 @@ class Tracer {
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  // next overwrite position once full
   std::uint64_t recorded_ = 0;
+  std::unique_ptr<PacketCapture> packets_;
 };
 
 }  // namespace abrr::obs

@@ -277,8 +277,9 @@ void append_totals(std::string& out, const char* key,
   append(out,
          "\"%s\":{\"received\":%" PRIu64 ",\"generated\":%" PRIu64
          ",\"transmitted\":%" PRIu64 ",\"bytes\":%" PRIu64
-         ",\"speakers\":%zu}",
-         key, t.received, t.generated, t.transmitted, t.bytes, t.speakers);
+         ",\"wire_bytes\":%" PRIu64 ",\"speakers\":%zu}",
+         key, t.received, t.generated, t.transmitted, t.bytes, t.wire_bytes,
+         t.speakers);
 }
 
 }  // namespace

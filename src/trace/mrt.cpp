@@ -2,13 +2,22 @@
 
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <stdexcept>
+
+#include "wire/codec.h"
 
 namespace abrr::trace {
 namespace {
 
 constexpr char kMagic[8] = {'A', 'B', 'M', 'R', 'T', '1', 0, 0};
-constexpr std::uint32_t kVersion = 1;
+// v2: announcement records store the RFC 4271 wire encoding of their
+// path-attribute block (length-prefixed), parsed back through
+// wire::decode_path_attrs — the same strict parser the message plane
+// uses, so MRT attribute parsing cannot diverge from the codec. Only
+// `neighbor` (session identity) and `origin_as` (not on a length-1
+// path) remain scalar.
+constexpr std::uint32_t kVersion = 2;
 
 // Little-endian scalar I/O. We serialize through byte buffers rather
 // than struct dumps so the format is packing- and endian-stable.
@@ -95,15 +104,16 @@ void write_mrt(const std::string& path, const Workload& workload,
     put(out, static_cast<std::uint8_t>(entry.prefix.length()));
     put(out, static_cast<std::uint8_t>(entry.from_peers ? 1 : 0));
     put(out, static_cast<std::uint32_t>(entry.anns.size()));
+    std::vector<std::uint8_t> attr_buf;
     for (const Announcement& a : entry.anns) {
-      put(out, a.router);
       put(out, a.neighbor);
-      put(out, a.first_as);
       put(out, a.origin_as);
-      put(out, a.path_length);
-      put(out, static_cast<std::uint8_t>(a.med.has_value() ? 1 : 0));
-      put(out, a.med.value_or(0));
-      put(out, a.local_pref);
+      attr_buf.clear();
+      wire::Encoder::append_path_attrs(*a.to_route(entry.prefix).attrs,
+                                       attr_buf);
+      put(out, static_cast<std::uint16_t>(attr_buf.size()));
+      out.write(reinterpret_cast<const char*>(attr_buf.data()),
+                static_cast<std::streamsize>(attr_buf.size()));
     }
   }
 
@@ -145,17 +155,29 @@ MrtFile read_mrt(const std::string& path) {
     entry.from_peers = get<std::uint8_t>(in) != 0;
     const auto n_anns = get<std::uint32_t>(in);
     entry.anns.reserve(n_anns);
+    std::vector<std::uint8_t> attr_buf;
     for (std::uint32_t k = 0; k < n_anns; ++k) {
       Announcement a;
-      a.router = get<std::uint32_t>(in);
       a.neighbor = get<std::uint32_t>(in);
-      a.first_as = get<std::uint32_t>(in);
       a.origin_as = get<std::uint32_t>(in);
-      a.path_length = get<std::uint8_t>(in);
-      const bool has_med = get<std::uint8_t>(in) != 0;
-      const auto med = get<std::uint32_t>(in);
-      if (has_med) a.med = med;
-      a.local_pref = get<std::uint32_t>(in);
+      const auto attr_len = get<std::uint16_t>(in);
+      attr_buf.resize(attr_len);
+      in.read(reinterpret_cast<char*>(attr_buf.data()), attr_len);
+      if (!in) throw std::runtime_error{"MRT file truncated"};
+      bgp::PathAttrs attrs;
+      if (const auto err = wire::decode_path_attrs(
+              std::span<const std::uint8_t>{attr_buf},
+              attrs, /*require_mandatory=*/true)) {
+        throw std::runtime_error{"bad attribute block in " + path + ": " +
+                                 err->to_string()};
+      }
+      // The scalar announcement fields are projections of the block;
+      // Announcement::to_route is the inverse of this extraction.
+      a.router = static_cast<RouterId>(attrs.next_hop);
+      a.first_as = attrs.as_path.first();
+      a.path_length = static_cast<std::uint8_t>(attrs.as_path.length());
+      a.med = attrs.med;
+      a.local_pref = attrs.local_pref;
       entry.anns.push_back(a);
     }
     table.push_back(std::move(entry));

@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdint>
 #include <fstream>
+#include <span>
+#include <vector>
+
+#include "wire/codec.h"
 
 namespace abrr::trace {
 namespace {
@@ -71,6 +76,47 @@ TEST_F(MrtTest, RoundTripsTraceExactly) {
     EXPECT_EQ(file.trace.events()[i].kind, trace.events()[i].kind);
     EXPECT_EQ(file.trace.events()[i].prefix_idx, trace.events()[i].prefix_idx);
     EXPECT_EQ(file.trace.events()[i].peer_as, trace.events()[i].peer_as);
+  }
+}
+
+// ABMRT v2 stores each announcement's attributes as the wire codec's
+// RFC 4271 path-attribute block — there is exactly one attribute
+// parser in the repo. This pins the unification: the scalar projections
+// the workload consumes must equal what the wire decoder extracts from
+// the block the wire encoder produced, for every announcement. Any
+// drift between trace-plane and message-plane attribute handling shows
+// up here before it shows up as a divergent experiment.
+TEST_F(MrtTest, AttributeBlocksMatchWireCodecExactly) {
+  write_mrt(path, workload, trace);
+  const MrtFile file = read_mrt(path);
+
+  std::vector<std::uint8_t> block;
+  for (std::size_t i = 0; i < workload.table().size(); ++i) {
+    const auto& entry = workload.table()[i];
+    for (std::size_t k = 0; k < entry.anns.size(); ++k) {
+      const auto& a = entry.anns[k];
+      block.clear();
+      wire::Encoder::append_path_attrs(*a.to_route(entry.prefix).attrs,
+                                       block);
+      ASSERT_FALSE(block.empty());
+      ASSERT_EQ(block.size(), wire::Encoder::path_attrs_size(
+                                  *a.to_route(entry.prefix).attrs));
+
+      bgp::PathAttrs decoded;
+      const auto err = wire::decode_path_attrs(
+          std::span<const std::uint8_t>{block}, decoded,
+          /*require_mandatory=*/true);
+      ASSERT_FALSE(err.has_value()) << err->to_string();
+
+      // The projections read_mrt derives from the block must equal the
+      // ones that came through the file (and the originals).
+      const auto& b = file.workload.table()[i].anns[k];
+      EXPECT_EQ(decoded.next_hop, b.router);
+      EXPECT_EQ(decoded.as_path.first(), b.first_as);
+      EXPECT_EQ(decoded.as_path.length(), b.path_length);
+      EXPECT_EQ(decoded.med, b.med);
+      EXPECT_EQ(decoded.local_pref, b.local_pref);
+    }
   }
 }
 
