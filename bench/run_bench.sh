@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Runs the micro-benchmarks (BENCH_micro.json), the fault-resilience
-# experiment (BENCH_fault.json + BENCH_fault_metrics.json) and the
+# experiment (BENCH_fault.json + BENCH_fault_metrics.json), the
 # parallel sweep (BENCH_sweep.json, which also proves --jobs=N output is
-# byte-identical to --jobs=1).
+# byte-identical to --jobs=1) and the serving-mode trial
+# (BENCH_serve.json: lookups/sec, per-lookup and publish latency
+# quantiles, reclamation stats, peak RSS).
 #
 # Usage: bench/run_bench.sh [--out-dir=DIR] [--jobs=N] [--preset=NAME]
 #                           [build-dir] [extra google-benchmark flags...]
@@ -19,7 +21,8 @@
 # binaries silently benchmark last week's code. Override the staleness
 # check (only) with ABRR_ALLOW_STALE=1. Skip the (slower) fault
 # experiment with ABRR_SKIP_FAULT_BENCH=1; skip the sweep with
-# ABRR_SKIP_SWEEP_BENCH=1.
+# ABRR_SKIP_SWEEP_BENCH=1; skip the serving trial with
+# ABRR_SKIP_SERVE_BENCH=1.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -111,12 +114,13 @@ bench_bin="$build_dir/bench/micro_bench"
 check_fresh "$bench_bin"
 
 # Preflight: the allocation-path tests (arena, scheduler event pool,
-# interner trial scope) guard the machinery these benches measure, and
-# the wire suite guards the measured byte columns the reports now carry
-# — refuse to publish numbers from a build where either fails.
+# interner trial scope) guard the machinery these benches measure, the
+# wire suite guards the measured byte columns the reports now carry,
+# and the serve suite guards the snapshot/LPM read path the serving
+# trial times — refuse to publish numbers from a build where any fails.
 if command -v ctest >/dev/null 2>&1; then
-  echo "preflight: ctest -L '(alloc|wire)' in $build_dir"
-  if ! ctest --test-dir "$build_dir" -L '(alloc|wire)' --output-on-failure; then
+  echo "preflight: ctest -L '(alloc|wire|serve)' in $build_dir"
+  if ! ctest --test-dir "$build_dir" -L '(alloc|wire|serve)' --output-on-failure; then
     echo "error: preflight tests failed; not running benches" >&2
     exit 1
   fi
@@ -146,4 +150,16 @@ if [[ "${ABRR_SKIP_SWEEP_BENCH:-0}" != "1" ]]; then
     --prefixes="${ABRR_SWEEP_PREFIXES:-1000}" \
     --jobs="$jobs" \
     --out-dir="$out_dir"
+fi
+
+if [[ "${ABRR_SKIP_SERVE_BENCH:-0}" != "1" ]]; then
+  serve_bin="$build_dir/bench/serve_bench"
+  check_fresh "$serve_bin"
+  # One CPU here: readers time-slice the writer, so keep the default
+  # reader count low and judge the read path by per-lookup latency
+  # (see EXPERIMENTS.md), not aggregate throughput.
+  "$serve_bin" \
+    --prefixes="${ABRR_SERVE_PREFIXES:-2000}" \
+    --readers="${ABRR_SERVE_READERS:-2}" \
+    --json_out="$out_dir/BENCH_serve.json"
 fi

@@ -1,0 +1,167 @@
+// Serving-mode benchmark: one RouteService trial per iBGP mode, the
+// read path hammered by --readers lookup threads while the writer
+// replays churn and republishes RCU snapshots. Emits BENCH_serve.json
+// with the read-path numbers (lookups/sec, per-lookup latency), the
+// writer-side publish latency, reclamation stats and peak RSS.
+//
+// One-CPU caveat (this host): readers and the writer time-slice one
+// core, so aggregate lookups/sec does NOT scale with --readers and
+// wall_ms mostly measures the simulation replay. Judge the read path
+// by per-lookup latency at --readers=1; see EXPERIMENTS.md.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "serve/service.h"
+
+namespace abrr::bench {
+namespace {
+
+struct ServeBenchConfig {
+  ExperimentConfig base;
+  unsigned long readers = 2;
+  unsigned long lookup_batch = 64;
+  double churn_seconds = 10.0;
+  double churn_events_per_second = 50.0;
+  unsigned long chaos_events = 8;
+  double publish_period_seconds = 0.25;
+  std::string json_out = "BENCH_serve.json";
+};
+
+ServeBenchConfig parse_args(int argc, char** argv) {
+  ServeBenchConfig cfg;
+  // The full §4 scale takes minutes per mode on this host; default to a
+  // mid-size bed and let --prefixes/--pops scale it up.
+  cfg.base.prefixes = 2000;
+  cfg.base.pops = 6;
+  cfg.base.clients_per_pop = 4;
+  cfg.base.peer_ases = 8;
+  cfg.base.points_per_as = 3;
+  runner::ArgParser parser{"serve_bench"};
+  cfg.base.register_flags(parser);
+  parser.add("readers", "concurrent lookup threads", &cfg.readers);
+  parser.add("lookup-batch", "lookups per reader timing sample",
+             &cfg.lookup_batch);
+  parser.add("churn-seconds", "virtual churn horizon per trial",
+             &cfg.churn_seconds);
+  parser.add("churn-eps", "update-trace churn events per virtual second",
+             &cfg.churn_events_per_second);
+  parser.add("chaos-events", "session/delay/loss fault events mixed in",
+             &cfg.chaos_events);
+  parser.add("publish-period", "virtual seconds between publish attempts",
+             &cfg.publish_period_seconds);
+  parser.add("json_out", "write the report here", &cfg.json_out);
+  parser.parse(argc, argv);
+  cfg.base.finish();
+  return cfg;
+}
+
+runner::ScenarioSpec serve_spec(ibgp::IbgpMode mode,
+                                const ServeBenchConfig& cfg) {
+  runner::ScenarioSpec spec;
+  spec.name = std::string{"serve/"} + runner::mode_name(mode);
+  spec.mode = mode;
+  spec.topology.pops = cfg.base.pops;
+  spec.topology.clients_per_pop = cfg.base.clients_per_pop;
+  spec.topology.peer_ases = cfg.base.peer_ases;
+  spec.topology.points_per_as = cfg.base.points_per_as;
+  spec.workload.prefixes = cfg.base.prefixes;
+  spec.abrr.num_aps = 2;
+  spec.serve.enabled = true;
+  spec.serve.churn_seconds = cfg.churn_seconds;
+  spec.serve.churn_events_per_second = cfg.churn_events_per_second;
+  spec.serve.chaos_events = cfg.chaos_events;
+  spec.serve.publish_period_seconds = cfg.publish_period_seconds;
+  return spec;
+}
+
+struct Row {
+  std::string mode;
+  serve::ServeReport report;
+};
+
+void print_row(const Row& row) {
+  std::printf(
+      "%-8s %12.0f lookups/s  p50=%7.1fns p99=%7.1fns  "
+      "publish p50=%8.0fns p99=%8.0fns  pubs=%" PRIu64 " def=%" PRIu64
+      "  rss=%ldKB\n",
+      row.mode.c_str(), row.report.lookups_per_sec, row.report.lookup_p50_ns,
+      row.report.lookup_p99_ns, row.report.publish_p50_ns,
+      row.report.publish_p99_ns, row.report.publishes,
+      row.report.publishes_deferred, row.report.peak_rss_kb);
+}
+
+void write_json(const std::string& path, const ServeBenchConfig& cfg,
+                const std::vector<Row>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"prefixes\": %zu, \"pops\": %u, "
+               "\"seed\": %" PRIu64 ", \"readers\": %lu, "
+               "\"lookup_batch\": %lu,\n             "
+               "\"churn_seconds\": %.3f, \"churn_eps\": %.1f, "
+               "\"chaos_events\": %lu, \"publish_period\": %.3f},\n",
+               cfg.base.prefixes, cfg.base.pops, cfg.base.seed, cfg.readers,
+               cfg.lookup_batch, cfg.churn_seconds,
+               cfg.churn_events_per_second, cfg.chaos_events,
+               cfg.publish_period_seconds);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const serve::ServeReport& r = rows[i].report;
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"lookups\": %" PRIu64
+        ", \"lookups_per_sec\": %.1f,\n"
+        "     \"lookup_p50_ns\": %.1f, \"lookup_p99_ns\": %.1f,\n"
+        "     \"publish_p50_ns\": %.1f, \"publish_p99_ns\": %.1f,\n"
+        "     \"publishes\": %" PRIu64 ", \"publishes_deferred\": %" PRIu64
+        ", \"reclaimed\": %" PRIu64 ", \"retired_peak\": %" PRIu64 ",\n"
+        "     \"final_version\": %" PRIu64
+        ", \"final_fingerprint\": \"%016" PRIx64 "\",\n"
+        "     \"virtual_seconds\": %.3f, \"wall_ms\": %.1f, "
+        "\"peak_rss_kb\": %ld}%s\n",
+        rows[i].mode.c_str(), r.lookups, r.lookups_per_sec, r.lookup_p50_ns,
+        r.lookup_p99_ns, r.publish_p50_ns, r.publish_p99_ns, r.publishes,
+        r.publishes_deferred, r.reclaimed, r.retired_peak, r.final_version,
+        r.final_fingerprint, r.virtual_seconds, r.wall_ms, r.peak_rss_kb,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace abrr::bench
+
+int main(int argc, char** argv) {
+  using namespace abrr;
+  using namespace abrr::bench;
+
+  const ServeBenchConfig cfg = parse_args(argc, argv);
+  std::vector<ibgp::IbgpMode> modes{
+      ibgp::IbgpMode::kFullMesh, ibgp::IbgpMode::kTbrr, ibgp::IbgpMode::kAbrr,
+      ibgp::IbgpMode::kDual};
+  if (!cfg.base.mode.empty()) modes = {*runner::parse_mode(cfg.base.mode)};
+
+  serve::ServeTrialOptions opt;
+  opt.readers = cfg.readers;
+  opt.lookup_batch = cfg.lookup_batch;
+
+  std::vector<Row> rows;
+  for (const ibgp::IbgpMode mode : modes) {
+    const runner::ScenarioSpec spec = serve_spec(mode, cfg);
+    rows.push_back(
+        Row{runner::mode_name(mode),
+            serve::run_serve_trial(spec, cfg.base.seed, opt)});
+    print_row(rows.back());
+  }
+  write_json(cfg.json_out, cfg, rows);
+  return 0;
+}

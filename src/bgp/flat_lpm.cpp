@@ -1,0 +1,117 @@
+#include "bgp/flat_lpm.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace abrr::bgp {
+
+// Build strategy: one sweep over the universe sorted by (address, length).
+// In that order every prefix is preceded by all prefixes that contain it
+// (a container starts no later and, at the same address, is shorter), so
+//  - the containment stack yields parent_ directly, and
+//  - directory fills can simply overwrite: whatever a later prefix
+//    writes is more specific than what an earlier one wrote there, and
+//    no chunk (or overflow list) can exist yet anywhere a later,
+//    shorter prefix needs to blanket-fill.
+LpmIndex::LpmIndex(std::span<const Ipv4Prefix> prefixes)
+    : prefixes_(prefixes.begin(), prefixes.end()) {
+  const std::size_t n = prefixes_.size();
+  parent_.assign(n, kNoSlot);
+  level1_.assign(std::size_t{1} << 16, kNoSlot);
+  // Chunk 0 is the reserved all-kNoSlot dummy the branch-free lookup
+  // reads for direct (chunkless) level-1 blocks; real chunks start at 1.
+  chunk_store_.assign(256, kNoSlot);
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const Ipv4Prefix& pa = prefixes_[a];
+              const Ipv4Prefix& pb = prefixes_[b];
+              if (pa.address() != pb.address()) {
+                return pa.address() < pb.address();
+              }
+              if (pa.length() != pb.length()) {
+                return pa.length() < pb.length();
+              }
+              return a < b;  // duplicates: first slot is canonical
+            });
+
+  const auto ensure_chunk = [&](std::uint32_t block) -> std::uint32_t* {
+    std::uint32_t& e = level1_[block];
+    if (e >= kChunkFlag && e != kNoSlot) {
+      return chunk_store_.data() +
+             (static_cast<std::size_t>(e & kPayloadMask) << 8);
+    }
+    const std::uint32_t base = e;  // final <=/16 cover of this block
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>(chunk_store_.size() >> 8);
+    chunk_store_.resize(chunk_store_.size() + 256, base);
+    e = kChunkFlag | idx;
+    return chunk_store_.data() + (static_cast<std::size_t>(idx) << 8);
+  };
+
+  std::vector<std::uint32_t> stack;
+  for (const std::uint32_t slot : order) {
+    const Ipv4Prefix& p = prefixes_[slot];
+    while (!stack.empty() && !prefixes_[stack.back()].contains(p)) {
+      stack.pop_back();
+    }
+    if (!stack.empty() && prefixes_[stack.back()] == p) {
+      // Duplicate prefix: alias the canonical slot's parent; the
+      // directory keeps pointing at the canonical slot.
+      parent_[slot] = parent_[stack.back()];
+      continue;
+    }
+    parent_[slot] = stack.empty() ? kNoSlot : stack.back();
+    stack.push_back(slot);
+
+    const std::uint8_t len = p.length();
+    if (len <= 16) {
+      const std::uint32_t first = p.first() >> 16;
+      const std::uint32_t last = p.last() >> 16;
+      std::fill(level1_.begin() + first, level1_.begin() + last + 1, slot);
+    } else if (len <= 24) {
+      std::uint32_t* chunk = ensure_chunk(p.first() >> 16);
+      const std::uint32_t first = (p.first() >> 8) & 0xff;
+      const std::uint32_t last = (p.last() >> 8) & 0xff;
+      std::fill(chunk + first, chunk + last + 1, slot);
+    } else {
+      std::uint32_t* chunk = ensure_chunk(p.first() >> 16);
+      std::uint32_t& c = chunk[(p.first() >> 8) & 0xff];
+      if (c < kChunkFlag || c == kNoSlot) {
+        const std::uint32_t idx =
+            static_cast<std::uint32_t>(overflow_.size());
+        overflow_.push_back({/*fallback=*/c, {}});
+        c = kChunkFlag | idx;
+      }
+      // Sweep order keeps each list ascending by (address, length).
+      overflow_[c & kPayloadMask].slots.push_back(slot);
+    }
+  }
+}
+
+std::uint32_t LpmIndex::overflow_leaf(Ipv4Addr addr,
+                                      std::uint32_t list) const {
+  const OverflowList& l = overflow_[list];
+  // Containing prefixes nest, and within the sorted list a contained
+  // (longer) prefix sorts after its container — so the first hit from
+  // the back is the most specific.
+  for (auto it = l.slots.rbegin(); it != l.slots.rend(); ++it) {
+    if (prefixes_[*it].contains(addr)) return *it;
+  }
+  return l.fallback;
+}
+
+std::size_t LpmIndex::bytes() const {
+  std::size_t b = prefixes_.capacity() * sizeof(Ipv4Prefix) +
+                  parent_.capacity() * sizeof(std::uint32_t) +
+                  level1_.capacity() * sizeof(std::uint32_t) +
+                  chunk_store_.capacity() * sizeof(std::uint32_t);
+  for (const OverflowList& l : overflow_) {
+    b += sizeof(OverflowList) + l.slots.capacity() * sizeof(std::uint32_t);
+  }
+  return b;
+}
+
+}  // namespace abrr::bgp

@@ -6,9 +6,8 @@
 #include "bgp/attrs_intern.h"
 
 namespace abrr::fault {
-namespace {
 
-std::uint64_t mix64(std::uint64_t x) {
+std::uint64_t fp_mix64(std::uint64_t x) {
   // splitmix64 finalizer.
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -16,7 +15,29 @@ std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-}  // namespace
+std::uint64_t fp_route_term(bgp::Ipv4Addr address, std::uint8_t length,
+                            std::uint32_t next_hop,
+                            std::uint64_t attrs_hash) {
+  std::uint64_t h = fp_mix64(address);
+  h = fp_mix64(h ^ length);
+  h = fp_mix64(h ^ next_hop);
+  return fp_mix64(h ^ attrs_hash);
+}
+
+std::uint64_t fp_route_term(const bgp::Route& route) {
+  const std::uint64_t attrs_hash =
+      route.attrs->content_hash != 0
+          ? route.attrs->content_hash
+          : bgp::attrs_content_hash(*route.attrs);
+  return fp_route_term(route.prefix.address(), route.prefix.length(),
+                       route.attrs->next_hop, attrs_hash);
+}
+
+std::uint64_t fp_chain(std::uint64_t fp, bgp::RouterId id,
+                       std::uint64_t speaker_sum) {
+  fp = fp_mix64(fp ^ fp_mix64(id)) ^ speaker_sum;
+  return fp_mix64(fp);
+}
 
 RecoveryReport verify_recovery(harness::Testbed& recovered,
                                harness::Testbed& baseline,
@@ -39,16 +60,9 @@ std::uint64_t rib_fingerprint(harness::Testbed& testbed) {
     // fallback in unspecified order, so the digest must not depend on it.
     std::uint64_t speaker_sum = 0;
     testbed.speaker(id).loc_rib().for_each([&](const bgp::Route& r) {
-      std::uint64_t h = mix64(r.prefix.address());
-      h = mix64(h ^ r.prefix.length());
-      h = mix64(h ^ r.attrs->next_hop);
-      const std::uint64_t attrs_hash =
-          r.attrs->content_hash != 0 ? r.attrs->content_hash
-                                     : bgp::attrs_content_hash(*r.attrs);
-      speaker_sum += mix64(h ^ attrs_hash);
+      speaker_sum += fp_route_term(r);
     });
-    fp = mix64(fp ^ mix64(id)) ^ speaker_sum;
-    fp = mix64(fp);
+    fp = fp_chain(fp, id, speaker_sum);
   }
   return fp;
 }

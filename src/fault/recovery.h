@@ -34,4 +34,27 @@ RecoveryReport verify_recovery(harness::Testbed& recovered,
 /// deterministic-replay contract.
 std::uint64_t rib_fingerprint(harness::Testbed& testbed);
 
+// The fingerprint's building blocks, exported so other digests (the
+// serving mode's incrementally-maintained per-snapshot fingerprint) can
+// be bit-identical to rib_fingerprint() without walking every RIB.
+
+/// splitmix64 finalizer — the mixer underlying all fingerprint terms.
+std::uint64_t fp_mix64(std::uint64_t x);
+
+/// One Loc-RIB entry's commutative contribution to its speaker's sum,
+/// from raw fields (attrs_hash must be the canonical attrs content
+/// hash). Terms are summed with wrapping + so entry order never matters
+/// and deltas can be applied incrementally (sum += new - old).
+std::uint64_t fp_route_term(bgp::Ipv4Addr address, std::uint8_t length,
+                            std::uint32_t next_hop,
+                            std::uint64_t attrs_hash);
+
+/// Same, from a live route (resolves the attrs content hash).
+std::uint64_t fp_route_term(const bgp::Route& route);
+
+/// Folds one speaker's commutative sum into the running digest; call in
+/// ascending RouterId order starting from fp = 0.
+std::uint64_t fp_chain(std::uint64_t fp, bgp::RouterId id,
+                       std::uint64_t speaker_sum);
+
 }  // namespace abrr::fault

@@ -314,6 +314,20 @@ trace::InjectFn Testbed::inject_fn() {
   };
 }
 
+void Testbed::attach_rib_listener(
+    std::function<void(RouterId, const Ipv4Prefix&, const bgp::Route*)>
+        on_change,
+    std::function<void(RouterId)> on_cleared) {
+  for (const RouterId id : all_ids_) {
+    ibgp::Speaker& s = *speakers_.at(id);
+    s.set_best_change_hook(
+        [id, on_change](const Ipv4Prefix& prefix, const bgp::Route* best) {
+          on_change(id, prefix, best);
+        });
+    s.set_rib_cleared_hook([id, on_cleared] { on_cleared(id); });
+  }
+}
+
 bool Testbed::run_to_quiescence(std::size_t max_events) {
   return scheduler_.run_to_quiescence(max_events);
 }

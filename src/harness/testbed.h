@@ -206,6 +206,23 @@ class Testbed {
     arr_directory_.set_alive(id, alive);
   }
 
+  /// The dense prefix universe the bed was built over (slot i ==
+  /// PrefixId i == the serving mode's LPM slot i); nullptr when
+  /// use_prefix_index is off.
+  const bgp::PrefixIndex* prefix_index() const {
+    return prefix_index_.get();
+  }
+
+  /// Resident-testbed hook: mirrors every Loc-RIB change into
+  /// `on_change` (speaker id + best-change arguments; nullptr route =
+  /// withdrawn) and every crash-wipe into `on_cleared`. Replaces any
+  /// hooks previously set on the speakers — the serving mode owns them
+  /// for the bed's remaining lifetime.
+  void attach_rib_listener(
+      std::function<void(RouterId, const Ipv4Prefix&, const bgp::Route*)>
+          on_change,
+      std::function<void(RouterId)> on_cleared);
+
  private:
   void wire_full_mesh();
   void wire_tbrr(bool dual);

@@ -572,6 +572,7 @@ void Speaker::crash() {
   // observe the survivors' reactions instead.
   adj_rib_in_.clear();
   loc_rib_.clear();
+  if (rib_cleared_hook_) rib_cleared_hook_();
   for (auto& [key, g] : groups_) g.rib.clear();
   for (auto& [neighbor, state] : ebgp_neighbors_) {
     state.advertised.clear();

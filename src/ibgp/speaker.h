@@ -208,6 +208,16 @@ class Speaker {
     best_change_hook_ = std::move(hook);
   }
 
+  /// Observer invoked when the Loc-RIB is wiped wholesale (crash()).
+  /// Unlike best-change it carries no per-prefix detail: crashes clear
+  /// every RIB without running the decision process, so per-prefix hooks
+  /// never fire. RIB mirrors (the serving mode) need this to mark every
+  /// prefix of the speaker dirty.
+  using RibClearedHook = std::function<void()>;
+  void set_rib_cleared_hook(RibClearedHook hook) {
+    rib_cleared_hook_ = std::move(hook);
+  }
+
   /// Registers the receive endpoint with the network. Call after wiring.
   void start();
 
@@ -407,6 +417,7 @@ class Speaker {
   ImportPolicy import_;
   std::function<bool(const Ipv4Prefix&)> accept_abrr_;
   BestChangeHook best_change_hook_;
+  RibClearedHook rib_cleared_hook_;
   std::shared_ptr<const bgp::PrefixIndex> prefix_index_;
 
   struct EbgpNeighborState {

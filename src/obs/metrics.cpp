@@ -173,6 +173,40 @@ std::string Labels::render() const {
   return out;
 }
 
+Histogram::Histogram(std::vector<double> bounds) {
+  if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end())) {
+    throw std::invalid_argument{"histogram: bounds must be ascending"};
+  }
+  bounds_ = std::move(bounds);
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0 && other.bounds_.empty()) return;
+  if (buckets_.empty()) {
+    bounds_ = other.bounds_;
+    buckets_ = other.buckets_;
+  } else if (bounds_ == other.bounds_) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  } else {
+    // Mismatched bucketing: fold into overflow, never silently mis-bin.
+    buckets_.back() += other.count_;
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 void Histogram::record(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
@@ -195,6 +229,17 @@ double Histogram::quantile(double q) const {
 std::vector<double> size_buckets() {
   std::vector<double> b;
   for (double v = 1; v <= 65536; v *= 2) b.push_back(v);
+  return b;
+}
+
+std::vector<double> latency_buckets_ns() {
+  std::vector<double> b;
+  for (double decade = 1; decade <= 1e9; decade *= 10) {
+    b.push_back(decade);
+    b.push_back(decade * 2);
+    b.push_back(decade * 5);
+  }
+  b.push_back(1e10);
   return b;
 }
 

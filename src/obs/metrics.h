@@ -92,7 +92,23 @@ class Gauge {
 /// estimate.
 class Histogram {
  public:
+  /// Registry histograms are created via MetricsRegistry::histogram();
+  /// this default state (no buckets) is only valid as a merge target.
+  Histogram() = default;
+
+  /// Free-standing histogram for thread-local recording (the serving
+  /// mode's reader threads: the registry is thread-confined, so each
+  /// reader records locally and the owner merge()s after join). Bounds
+  /// must be ascending and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
   void record(double v);
+
+  /// Folds `other` into this histogram. Equal bucket bounds merge
+  /// bucket-wise; an empty target adopts the source's shape; mismatched
+  /// shapes fold into the overflow bucket (same policy as aggregate
+  /// JSON dumps).
+  void merge(const Histogram& other);
 
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
@@ -118,6 +134,10 @@ class Histogram {
 /// Power-of-two size buckets 1, 2, 4, ..., 65536 — the default for
 /// "how many routes / how many bytes / how big a batch" histograms.
 std::vector<double> size_buckets();
+
+/// Latency buckets in nanoseconds: 1-2-5 decades from 1ns to 10s —
+/// the default for lookup/publish latency histograms.
+std::vector<double> latency_buckets_ns();
 
 struct MetricInfo {
   std::string name;

@@ -131,6 +131,37 @@ std::vector<ValidationError> ScenarioSpec::validate() const {
     }
   }
 
+  if (serve.enabled) {
+    if (serve.churn_seconds <= 0) {
+      err("serve.churn_seconds", "a serving run needs a positive horizon");
+    }
+    if (serve.churn_events_per_second < 0) {
+      err("serve.churn_events_per_second", "must be >= 0");
+    }
+    if (serve.publish_period_seconds <= 0) {
+      err("serve.publish_period_seconds", "must be > 0");
+    }
+    if (serve.max_resident_snapshots < 2) {
+      err("serve.max_resident_snapshots",
+          "needs room for the live snapshot plus at least one retired one");
+    }
+    if (!use_prefix_index) {
+      err("serve.enabled",
+          "snapshots are compiled from the dense PrefixIndex RIB; "
+          "use_prefix_index must stay on");
+    }
+    if (fault.enabled) {
+      err("serve.enabled",
+          "serving churn and the batch fault episode are mutually "
+          "exclusive (serve runs its own restricted chaos plan)");
+    }
+    if (timing.hold_time > 0) {
+      err("serve.enabled",
+          "the serving writer converges via quiescence; hold timers tick "
+          "forever, so timing.hold_time must stay 0");
+    }
+  }
+
   if (obs.enabled && obs.sample_period <= 0) {
     err("obs.sample_period", "must be > 0 when observability is enabled");
   }

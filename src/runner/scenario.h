@@ -47,6 +47,32 @@ struct WorkloadOptions {
   double trace_events_per_second = 20.0;
 };
 
+/// Serving mode (src/serve): keep the converged trial resident on a
+/// writer thread that replays churn and publishes immutable RIB
+/// snapshots through epoch-based reclamation, while lock-free readers
+/// answer longest-prefix-match queries against the latest snapshot.
+struct ServeOptions {
+  bool enabled = false;
+  /// Virtual seconds of churn the writer replays after convergence.
+  double churn_seconds = 10.0;
+  /// Update-trace churn rate (events per virtual second); 0 disables
+  /// the trace component of the churn mix.
+  double churn_events_per_second = 50.0;
+  /// Seeded fault churn on top of the trace: session resets, delay and
+  /// loss bursts only (crash/link faults stay weighted off so
+  /// hold_time=0 beds remain valid). 0 = no fault churn.
+  std::size_t chaos_events = 0;
+  /// Virtual seconds between publish attempts: the writer advances the
+  /// simulation in steps of this period and republishes whenever the
+  /// step dirtied at least one (router, prefix).
+  double publish_period_seconds = 0.25;
+  /// Cap on retired-but-unreclaimed snapshots. A stuck reader pins its
+  /// epoch forever; once the retire backlog reaches this cap the writer
+  /// defers publishing (counts serve.publishes_deferred) instead of
+  /// growing memory without bound.
+  std::size_t max_resident_snapshots = 8;
+};
+
 /// One structured validation failure: the offending field (dotted path)
 /// and a human-readable reason.
 struct ValidationError {
@@ -84,6 +110,7 @@ struct ScenarioSpec {
   harness::AbrrOptions abrr;
   harness::TimingOptions timing;
   harness::FaultOptions fault;
+  ServeOptions serve;
   obs::ObsOptions obs;
   bgp::DecisionConfig decision{};
   bool use_prefix_index = true;

@@ -23,24 +23,6 @@ namespace {
 constexpr sim::Time kPollStep = sim::msec(100);
 constexpr sim::Time kFingerprintStep = sim::msec(500);
 
-topo::Topology make_topology(const TopologyOptions& t, sim::Rng& rng) {
-  topo::TopologyParams tp;
-  tp.pops = t.pops;
-  tp.clients_per_pop = t.clients_per_pop;
-  tp.peering_router_fraction = t.peering_router_fraction;
-  tp.peer_ases = t.peer_ases;
-  tp.peering_points_per_as = t.points_per_as;
-  tp.peering_skew = t.peering_skew;
-  return topo::make_tier1(tp, rng);
-}
-
-trace::Workload make_workload(const WorkloadOptions& w,
-                              const topo::Topology& topology, sim::Rng& rng) {
-  trace::WorkloadParams wp;
-  wp.prefixes = w.prefixes;
-  return trace::Workload::generate(wp, topology, rng);
-}
-
 std::uint64_t total_hold_expirations(harness::Testbed& bed) {
   std::uint64_t n = 0;
   for (const bgp::RouterId id : bed.all_ids()) {
@@ -149,6 +131,25 @@ void run_fault_episode(const ScenarioSpec& spec, std::uint64_t seed,
 
 }  // namespace
 
+topo::Topology make_trial_topology(const TopologyOptions& t, sim::Rng& rng) {
+  topo::TopologyParams tp;
+  tp.pops = t.pops;
+  tp.clients_per_pop = t.clients_per_pop;
+  tp.peering_router_fraction = t.peering_router_fraction;
+  tp.peer_ases = t.peer_ases;
+  tp.peering_points_per_as = t.points_per_as;
+  tp.peering_skew = t.peering_skew;
+  return topo::make_tier1(tp, rng);
+}
+
+trace::Workload make_trial_workload(const WorkloadOptions& w,
+                                    const topo::Topology& topology,
+                                    sim::Rng& rng) {
+  trace::WorkloadParams wp;
+  wp.prefixes = w.prefixes;
+  return trace::Workload::generate(wp, topology, rng);
+}
+
 TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
                       std::size_t index) {
   TrialResult r;
@@ -166,8 +167,8 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
   // Everything below is regenerated from (spec, seed): the trial shares
   // no state with any other trial and never leaves this thread.
   sim::Rng rng{seed};
-  topo::Topology topology = make_topology(spec.topology, rng);
-  const trace::Workload workload = make_workload(spec.workload, topology, rng);
+  topo::Topology topology = make_trial_topology(spec.topology, rng);
+  const trace::Workload workload = make_trial_workload(spec.workload, topology, rng);
   const std::vector<bgp::Ipv4Prefix> prefixes = workload.prefixes();
 
   harness::Testbed bed{topology, spec.testbed_config(seed), prefixes};
@@ -209,9 +210,9 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed,
       // (spec, seed), inside this trial so the comparison stays
       // thread-confined.
       sim::Rng base_rng{seed};
-      topo::Topology base_topology = make_topology(spec.topology, base_rng);
+      topo::Topology base_topology = make_trial_topology(spec.topology, base_rng);
       const trace::Workload base_workload =
-          make_workload(spec.workload, base_topology, base_rng);
+          make_trial_workload(spec.workload, base_topology, base_rng);
       const std::vector<bgp::Ipv4Prefix> base_prefixes =
           base_workload.prefixes();
       harness::TestbedConfig base_cfg = spec.testbed_config(seed);

@@ -1,0 +1,153 @@
+// Epoch-based reclamation for the serving mode's single-writer /
+// many-reader snapshot hand-off.
+//
+// The contract:
+//  - ONE writer thread publishes immutable snapshots and is the only
+//    thread that retires, advances the epoch, and reclaims.
+//  - N reader threads each claim a slot once, then pin/unpin around
+//    every access to the live snapshot. Pinning is lock-free (two
+//    atomic stores + two loads, no CAS loop under contention with the
+//    writer) and readers never block each other or the writer.
+//
+// Why it is safe: the writer retires a snapshot tagged with the global
+// epoch E *before* advancing to E+1, and all epoch/pin operations are
+// seq_cst. A reader whose recheck observed epoch e therefore
+// happens-after every publication the writer completed before the
+// global counter reached e — so the snapshot pointer it subsequently
+// loads was retired (if ever) at some tag >= e. Reclaiming only items
+// with tag < min(pinned epochs) can thus never free a snapshot a
+// reader still holds. Unpin is a release store and the writer's
+// min-pinned scan uses acquire loads, which gives the free a TSan-
+// visible happens-after edge over every read of the snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+
+namespace abrr::serve {
+
+class EpochDomain {
+ public:
+  /// Slot value meaning "this reader is not inside a critical section".
+  /// Doubles as min_pinned()'s "nobody is pinned" result — it compares
+  /// greater than every real epoch, so `tag < min_pinned()` naturally
+  /// reclaims everything when no reader is active.
+  static constexpr std::uint64_t kQuiescent = ~0ull;
+
+  explicit EpochDomain(std::size_t max_readers = 64)
+      : max_readers_(max_readers),
+        slots_(std::make_unique<Slot[]>(max_readers)) {}
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // --- reader side ------------------------------------------------------
+
+  /// Claims a reader slot (any thread; lock-free). Throws when all
+  /// max_readers slots are taken.
+  std::size_t register_reader() {
+    for (std::size_t i = 0; i < max_readers_; ++i) {
+      bool expected = false;
+      if (slots_[i].claimed.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        return i;
+      }
+    }
+    throw std::runtime_error{"EpochDomain: out of reader slots"};
+  }
+
+  void unregister_reader(std::size_t slot) {
+    slots_[slot].epoch.store(kQuiescent, std::memory_order_release);
+    slots_[slot].claimed.store(false, std::memory_order_release);
+  }
+
+  /// Enters a critical section: publishes the reader's epoch and
+  /// rechecks the global counter so a concurrent advance can't strand
+  /// the slot announcing an epoch older than what it read. Returns the
+  /// pinned epoch.
+  std::uint64_t pin(std::size_t slot) {
+    std::uint64_t e = global_.load(std::memory_order_seq_cst);
+    for (;;) {
+      slots_[slot].epoch.store(e, std::memory_order_seq_cst);
+      const std::uint64_t now = global_.load(std::memory_order_seq_cst);
+      if (now == e) return e;
+      e = now;
+    }
+  }
+
+  void unpin(std::size_t slot) {
+    slots_[slot].epoch.store(kQuiescent, std::memory_order_release);
+  }
+
+  // --- writer side ------------------------------------------------------
+
+  std::uint64_t current() const {
+    return global_.load(std::memory_order_seq_cst);
+  }
+
+  /// Moves the global epoch forward; returns the new value.
+  std::uint64_t advance() {
+    return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  /// Smallest epoch any reader currently announces, or kQuiescent when
+  /// no reader is inside a critical section.
+  std::uint64_t min_pinned() const {
+    std::uint64_t min = kQuiescent;
+    for (std::size_t i = 0; i < max_readers_; ++i) {
+      if (!slots_[i].claimed.load(std::memory_order_acquire)) continue;
+      const std::uint64_t e = slots_[i].epoch.load(std::memory_order_acquire);
+      if (e < min) min = e;
+    }
+    return min;
+  }
+
+  std::size_t max_readers() const { return max_readers_; }
+
+ private:
+  struct alignas(64) Slot {  // one cache line per reader: no false sharing
+    std::atomic<std::uint64_t> epoch{kQuiescent};
+    std::atomic<bool> claimed{false};
+  };
+
+  std::atomic<std::uint64_t> global_{1};
+  std::size_t max_readers_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+/// Writer-owned (NOT thread-safe) list of retired objects awaiting
+/// reclamation. Tags must be non-decreasing across retire() calls —
+/// they are the epoch at retirement time, which only advances.
+template <typename T>
+class RetireBin {
+ public:
+  void retire(std::uint64_t tag, std::unique_ptr<const T> obj) {
+    items_.push_back(Item{tag, std::move(obj)});
+  }
+
+  /// Frees every item retired before `min_pinned` (see EpochDomain::
+  /// min_pinned; kQuiescent frees everything). Returns how many.
+  std::size_t reclaim(std::uint64_t min_pinned) {
+    std::size_t n = 0;
+    while (!items_.empty() && items_.front().tag < min_pinned) {
+      items_.pop_front();
+      ++n;
+    }
+    return n;
+  }
+
+  std::size_t pending() const { return items_.size(); }
+
+ private:
+  struct Item {
+    std::uint64_t tag;
+    std::unique_ptr<const T> obj;
+  };
+  std::deque<Item> items_;
+};
+
+}  // namespace abrr::serve

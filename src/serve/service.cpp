@@ -1,0 +1,547 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "bgp/attrs_intern.h"
+#include "bgp/prefix_index.h"
+#include "fault/injector.h"
+#include "fault/recovery.h"
+#include "fault/schedule.h"
+#include "harness/testbed.h"
+#include "runner/trial.h"
+#include "trace/update_trace.h"
+
+#include <sys/resource.h>
+
+namespace abrr::serve {
+namespace {
+
+std::uint64_t now_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// One deterministic serving world: the same (spec, seed) construction
+/// sequence as runner::run_trial, shared verbatim by the writer thread
+/// and the batch comparator so their virtual states are bit-identical.
+struct World {
+  std::optional<trace::Workload> workload;
+  std::vector<bgp::Ipv4Prefix> prefixes;
+  std::unique_ptr<harness::Testbed> bed;
+  std::unique_ptr<trace::RouteRegenerator> regen;
+  std::unique_ptr<fault::FaultInjector> injector;
+  sim::Time t0 = 0;     // virtual clock at convergence
+  sim::Time t_end = 0;  // churn horizon
+  bool converged = false;
+};
+
+/// Builds and converges the world. `before_load` runs between bed
+/// construction and the snapshot load — the writer attaches its RIB
+/// listener there so the mirror sees every best-change from the start
+/// (no post-hoc RIB scan).
+World build_world(const runner::ScenarioSpec& spec, std::uint64_t seed,
+                  const std::function<void(harness::Testbed&)>& before_load) {
+  World w;
+  sim::Rng rng{seed};
+  topo::Topology topology = runner::make_trial_topology(spec.topology, rng);
+  w.workload.emplace(
+      runner::make_trial_workload(spec.workload, topology, rng));
+  w.prefixes = w.workload->prefixes();
+  w.bed = std::make_unique<harness::Testbed>(
+      std::move(topology), spec.testbed_config(seed), w.prefixes);
+  w.regen = std::make_unique<trace::RouteRegenerator>(
+      w.bed->scheduler(), *w.workload, w.bed->inject_fn());
+  if (before_load) before_load(*w.bed);
+  w.regen->load_snapshot(0, sim::sec_f(spec.workload.snapshot_seconds));
+  w.converged = w.bed->run_to_quiescence(500'000'000);
+  w.t0 = w.bed->scheduler().now();
+  w.t_end = w.t0 + sim::sec_f(spec.serve.churn_seconds);
+  return w;
+}
+
+/// Arms the churn plan: the update-trace replay plus (optionally) a
+/// fault-chaos schedule restricted to session-reset/delay/loss — crash
+/// and link faults are weighted off because hold_time stays 0 in
+/// serving beds (explicit session events need no hold timers; a crash
+/// would go undetected forever).
+void arm_churn(const runner::ScenarioSpec& spec, std::uint64_t seed,
+               World& w) {
+  const runner::ServeOptions& so = spec.serve;
+  if (so.churn_events_per_second > 0) {
+    trace::TraceParams tp;
+    tp.duration = sim::sec_f(so.churn_seconds);
+    tp.events_per_second = so.churn_events_per_second;
+    sim::Rng trace_rng{seed + 2};
+    const trace::UpdateTrace trace =
+        trace::UpdateTrace::generate(tp, *w.workload, trace_rng);
+    w.regen->play(trace, w.t0);
+  }
+  if (so.chaos_events > 0) {
+    fault::ChaosParams cp;
+    cp.events = so.chaos_events;
+    cp.start = w.t0 + std::min<sim::Time>(
+                          sim::sec(1), sim::sec_f(so.churn_seconds * 0.25));
+    cp.horizon = w.t_end;
+    cp.crash_weight = 0;
+    cp.link_weight = 0;
+    sim::Rng chaos_rng{seed + 3};
+    fault::FaultSchedule schedule = fault::FaultSchedule::chaos(
+        cp, w.bed->all_ids(), w.bed->network().sessions(), chaos_rng);
+    w.injector =
+        std::make_unique<fault::FaultInjector>(*w.bed, std::move(schedule));
+    w.injector->set_resync(fault::make_workload_resync(*w.bed, *w.regen));
+    w.injector->arm();
+  }
+}
+
+}  // namespace
+
+/// Everything thread-confined to the writer: the live RIB mirror the
+/// hooks maintain, its incremental fingerprint sums, and the published
+/// (COW-shared) per-router tables.
+struct RouteService::WriterState {
+  struct Mirror {
+    std::vector<RouteEntry> entries;  // dense by LPM/prefix slot
+    std::uint64_t sum = 0;            // commutative fingerprint sum
+    std::shared_ptr<const RibSnapshot::Table> published;
+    bool dirty = false;
+  };
+
+  std::vector<bgp::RouterId> ids;  // ascending
+  std::vector<std::uint32_t> pos;  // RouterId -> index+1
+  std::vector<Mirror> mirrors;
+  std::shared_ptr<const bgp::LpmIndex> index;
+  const bgp::PrefixIndex* pidx = nullptr;
+  std::uint64_t next_version = 0;
+  bool any_dirty = false;
+
+  // Registry handles (the bed's writer-confined MetricsRegistry).
+  obs::Gauge* g_version = nullptr;
+  obs::Gauge* g_epoch = nullptr;
+  obs::Gauge* g_pending = nullptr;
+  obs::Counter* c_publishes = nullptr;
+  obs::Counter* c_deferred = nullptr;
+  obs::Counter* c_reclaimed = nullptr;
+
+  void init(harness::Testbed& bed) {
+    pidx = bed.prefix_index();
+    if (pidx == nullptr) {
+      throw std::runtime_error{
+          "serve: testbed has no PrefixIndex (use_prefix_index off)"};
+    }
+    index = std::make_shared<const bgp::LpmIndex>(pidx->prefixes());
+    ids = bed.all_ids();
+    std::sort(ids.begin(), ids.end());
+    bgp::RouterId max_id = 0;
+    for (const bgp::RouterId id : ids) max_id = std::max(max_id, id);
+    pos.assign(static_cast<std::size_t>(max_id) + 1, 0);
+    mirrors.resize(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      pos[ids[i]] = static_cast<std::uint32_t>(i) + 1;
+      mirrors[i].entries.assign(pidx->size(), RouteEntry{});
+    }
+  }
+
+  void on_change(bgp::RouterId id, const bgp::Ipv4Prefix& prefix,
+                 const bgp::Route* best) {
+    Mirror& m = mirrors[pos[id] - 1];
+    const auto slot = pidx->id_of(prefix);
+    if (!slot) return;  // outside the served universe
+    RouteEntry& e = m.entries[*slot];
+    if (e.present) {
+      m.sum -= fault::fp_route_term(prefix.address(), prefix.length(),
+                                    e.next_hop, e.attrs_hash);
+    }
+    if (best != nullptr) {
+      e.attrs_hash = best->attrs->content_hash != 0
+                         ? best->attrs->content_hash
+                         : bgp::attrs_content_hash(*best->attrs);
+      e.next_hop = best->attrs->next_hop;
+      e.learned_from = best->learned_from;
+      e.path_id = best->path_id;
+      e.present = 1;
+      m.sum += fault::fp_route_term(prefix.address(), prefix.length(),
+                                    e.next_hop, e.attrs_hash);
+    } else {
+      e = RouteEntry{};
+    }
+    m.dirty = true;
+    any_dirty = true;
+  }
+
+  void on_cleared(bgp::RouterId id) {
+    Mirror& m = mirrors[pos[id] - 1];
+    std::fill(m.entries.begin(), m.entries.end(), RouteEntry{});
+    m.sum = 0;
+    m.dirty = true;
+    any_dirty = true;
+  }
+};
+
+RouteService::RouteService(runner::ScenarioSpec spec, std::uint64_t seed,
+                           std::size_t max_readers)
+    : spec_(std::move(spec)),
+      seed_(seed),
+      epochs_(max_readers),
+      lookup_hist_(obs::latency_buckets_ns()),
+      publish_hist_(obs::latency_buckets_ns()) {
+  spec_.serve.enabled = true;
+  const std::vector<runner::ValidationError> errors = spec_.validate();
+  if (!errors.empty()) {
+    throw std::invalid_argument{"RouteService: " +
+                                runner::render_errors(errors)};
+  }
+}
+
+RouteService::~RouteService() {
+  stop();
+  // Contract: all Readers are gone by now, so the live snapshot and the
+  // retire backlog (bin_ members destruct below) can be freed outright.
+  delete live_.exchange(nullptr, std::memory_order_acq_rel);
+}
+
+void RouteService::start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error{"RouteService::start() called twice"};
+  }
+  writer_ = std::thread([this] { writer_main(); });
+  std::unique_lock<std::mutex> lock{ready_mutex_};
+  ready_cv_.wait(lock, [this] { return ready_; });
+  if (!writer_error_.empty()) {
+    const std::string error = writer_error_;
+    lock.unlock();
+    stop();
+    throw std::runtime_error{"serve writer failed: " + error};
+  }
+}
+
+void RouteService::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (writer_.joinable()) writer_.join();
+}
+
+std::size_t RouteService::reclaim() {
+  const std::size_t n = bin_.reclaim(epochs_.min_pinned());
+  if (n > 0) reclaimed_.fetch_add(n, std::memory_order_relaxed);
+  pending_.store(bin_.pending(), std::memory_order_relaxed);
+  return n;
+}
+
+bool RouteService::try_publish(WriterState& ws, sim::Time now) {
+  reclaim();
+  // Resident = the live snapshot + the new one + the retire backlog; a
+  // stuck reader makes the backlog unreclaimable, so defer instead of
+  // growing past the cap.
+  if (bin_.pending() + 2 > spec_.serve.max_resident_snapshots) {
+    deferred_.fetch_add(1, std::memory_order_relaxed);
+    if (ws.c_deferred != nullptr) ws.c_deferred->inc();
+    return false;
+  }
+
+  const std::uint64_t t_begin = now_ns();
+  auto snap = std::make_unique<RibSnapshot>();
+  snap->index = ws.index;
+  snap->virtual_time = now;
+  snap->version = ++ws.next_version;
+  std::uint64_t fp = 0;
+  for (std::size_t i = 0; i < ws.ids.size(); ++i) {
+    fp = fault::fp_chain(fp, ws.ids[i], ws.mirrors[i].sum);
+  }
+  snap->fingerprint = fp;
+  snap->router_ids = ws.ids;
+  snap->router_pos = ws.pos;
+  snap->tables.reserve(ws.mirrors.size());
+  for (WriterState::Mirror& m : ws.mirrors) {
+    if (m.dirty || m.published == nullptr) {
+      // Delta rebuild: only routers dirtied since the last publish get
+      // a fresh table; the rest share the previous snapshot's.
+      m.published = std::make_shared<const RibSnapshot::Table>(m.entries);
+      m.dirty = false;
+    }
+    snap->tables.push_back(m.published);
+  }
+  ws.any_dirty = false;
+
+  const std::uint64_t version = snap->version;
+  const RibSnapshot* old =
+      live_.exchange(snap.release(), std::memory_order_seq_cst);
+  const std::uint64_t tag = epochs_.current();
+  if (old != nullptr) {
+    bin_.retire(tag, std::unique_ptr<const RibSnapshot>(old));
+    std::uint64_t peak = retired_peak_.load(std::memory_order_relaxed);
+    while (bin_.pending() > peak &&
+           !retired_peak_.compare_exchange_weak(peak, bin_.pending(),
+                                                std::memory_order_relaxed)) {
+    }
+  }
+  epochs_.advance();
+  reclaim();
+
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  version_.store(version, std::memory_order_relaxed);
+  fingerprint_.store(fp, std::memory_order_relaxed);
+  virtual_time_.store(now, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock{hist_mutex_};
+    publish_hist_.record(static_cast<double>(now_ns() - t_begin));
+  }
+  if (ws.c_publishes != nullptr) ws.c_publishes->inc();
+  if (ws.c_reclaimed != nullptr) {
+    const std::uint64_t total = reclaimed_.load(std::memory_order_relaxed);
+    if (total > ws.c_reclaimed->value()) {
+      ws.c_reclaimed->inc(total - ws.c_reclaimed->value());
+    }
+  }
+  if (ws.g_version != nullptr) {
+    ws.g_version->set(static_cast<double>(version));
+    ws.g_epoch->set(static_cast<double>(epochs_.current()));
+    ws.g_pending->set(static_cast<double>(bin_.pending()));
+  }
+  return true;
+}
+
+void RouteService::writer_main() {
+  try {
+    bgp::AttrsInterner::TrialScope attrs_scope{spec_.expected_attr_blocks()};
+    WriterState ws;  // declared before World: speaker hooks point into it
+    World w = build_world(spec_, seed_, [&ws](harness::Testbed& bed) {
+      ws.init(bed);
+      bed.attach_rib_listener(
+          [&ws](bgp::RouterId id, const bgp::Ipv4Prefix& prefix,
+                const bgp::Route* best) { ws.on_change(id, prefix, best); },
+          [&ws](bgp::RouterId id) { ws.on_cleared(id); });
+    });
+    if (!w.converged) {
+      throw std::runtime_error{"serve: initial convergence did not quiesce"};
+    }
+    obs::MetricsRegistry& reg = w.bed->metrics();
+    ws.g_version = reg.gauge("serve.version");
+    ws.g_epoch = reg.gauge("serve.published_epoch");
+    ws.g_pending = reg.gauge("serve.retired_snapshots");
+    ws.c_publishes = reg.counter("serve.publishes");
+    ws.c_deferred = reg.counter("serve.publishes_deferred");
+    ws.c_reclaimed = reg.counter("serve.reclaimed");
+
+    try_publish(ws, w.t0);  // bin is empty: cannot defer
+    t0_virtual_.store(w.t0, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock{ready_mutex_};
+      ready_ = true;
+    }
+    ready_cv_.notify_all();
+
+    arm_churn(spec_, seed_, w);
+    const sim::Time step =
+        std::max<sim::Time>(1, sim::sec_f(spec_.serve.publish_period_seconds));
+    sim::Time now = w.t0;
+    while (!stop_.load(std::memory_order_acquire) && now < w.t_end) {
+      now = std::min<sim::Time>(now + step, w.t_end);
+      w.bed->run_until(now);
+      if (ws.any_dirty) try_publish(ws, now);
+    }
+    // Stamp the horizon state unconditionally (a clean republish is
+    // cheap COW sharing): consumers see virtual_time reach the end of
+    // the churn plan. Bounded retries before announcing done() so a
+    // reader pinned across the horizon (descheduled mid-batch on a
+    // loaded host) can't hold up completion indefinitely.
+    for (int attempt = 0; attempt < 500; ++attempt) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (try_publish(ws, now)) {
+        horizon_published_.store(true, std::memory_order_release);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    done_.store(true, std::memory_order_release);
+    // Park until stop(): keep reclaiming so a reader draining late
+    // still lets retired snapshots go before destruction, and keep
+    // retrying the horizon publish until the blocking pin clears
+    // (deferral counters record every failed attempt).
+    while (!stop_.load(std::memory_order_acquire)) {
+      reclaim();
+      if (!horizon_published_.load(std::memory_order_relaxed) &&
+          try_publish(ws, now)) {
+        horizon_published_.store(true, std::memory_order_release);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    reclaim();
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock{ready_mutex_};
+      writer_error_ = e.what();
+      ready_ = true;
+    }
+    ready_cv_.notify_all();
+    done_.store(true, std::memory_order_release);
+  }
+}
+
+ServiceStats RouteService::stats() const {
+  ServiceStats s;
+  s.publishes = publishes_.load(std::memory_order_relaxed);
+  s.publishes_deferred = deferred_.load(std::memory_order_relaxed);
+  s.reclaimed = reclaimed_.load(std::memory_order_relaxed);
+  s.retired_pending = pending_.load(std::memory_order_relaxed);
+  s.retired_peak = retired_peak_.load(std::memory_order_relaxed);
+  s.version = version_.load(std::memory_order_relaxed);
+  s.fingerprint = fingerprint_.load(std::memory_order_relaxed);
+  s.virtual_time = virtual_time_.load(std::memory_order_relaxed);
+  s.done = done_.load(std::memory_order_acquire);
+  return s;
+}
+
+obs::Histogram RouteService::lookup_latency() const {
+  std::lock_guard<std::mutex> lock{hist_mutex_};
+  return lookup_hist_;
+}
+
+obs::Histogram RouteService::publish_latency() const {
+  std::lock_guard<std::mutex> lock{hist_mutex_};
+  return publish_hist_;
+}
+
+RouteService::Reader::Reader(RouteService& service)
+    : service_(&service),
+      slot_(service.epochs_.register_reader()),
+      latency_(obs::latency_buckets_ns()) {}
+
+RouteService::Reader::~Reader() {
+  service_->epochs_.unregister_reader(slot_);
+  {
+    std::lock_guard<std::mutex> lock{service_->hist_mutex_};
+    service_->lookup_hist_.merge(latency_);
+  }
+  service_->total_lookups_.fetch_add(lookups_, std::memory_order_relaxed);
+}
+
+std::uint64_t batch_fingerprint_at(const runner::ScenarioSpec& spec0,
+                                   std::uint64_t seed, sim::Time at) {
+  runner::ScenarioSpec spec = spec0;
+  spec.serve.enabled = true;
+  bgp::AttrsInterner::TrialScope attrs_scope{spec.expected_attr_blocks()};
+  World w = build_world(spec, seed, nullptr);
+  if (!w.converged) {
+    throw std::runtime_error{"batch_fingerprint_at: no quiescence"};
+  }
+  arm_churn(spec, seed, w);
+  if (at > w.t0) w.bed->run_until(at);
+  return fault::rib_fingerprint(*w.bed);
+}
+
+sim::Time batch_converged_time(const runner::ScenarioSpec& spec0,
+                               std::uint64_t seed) {
+  runner::ScenarioSpec spec = spec0;
+  spec.serve.enabled = true;
+  bgp::AttrsInterner::TrialScope attrs_scope{spec.expected_attr_blocks()};
+  World w = build_world(spec, seed, nullptr);
+  if (!w.converged) {
+    throw std::runtime_error{"batch_converged_time: no quiescence"};
+  }
+  return w.t0;
+}
+
+ServeReport run_serve_trial(const runner::ScenarioSpec& spec,
+                            std::uint64_t seed,
+                            const ServeTrialOptions& opt) {
+  ServeReport rep;
+  const std::uint64_t wall0 = now_ns();
+
+  RouteService service{spec, seed, opt.readers + 8};
+  service.start();
+  const sim::Time t0_virtual = service.converged_time();
+
+  std::atomic<bool> readers_stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(opt.readers);
+  for (std::size_t r = 0; r < opt.readers; ++r) {
+    threads.emplace_back([&service, &readers_stop, &opt, r] {
+      RouteService::Reader reader{service};
+      // Deterministic probe walk biased to HIT: pick a universe prefix
+      // by slot and scatter within its host bits (micro_bench idiom).
+      std::uint32_t probe =
+          0x9e3779b9u * (static_cast<std::uint32_t>(r) + 1) + 1;
+      std::size_t router_i = r;
+      // do-while: even if the writer finished its whole horizon before
+      // this thread got scheduled (1-CPU hosts), every reader performs
+      // at least one batch against the final snapshot.
+      do {
+        const RibSnapshot* snap = reader.pin();
+        const bgp::LpmIndex& index = *snap->index;
+        const bgp::RouterId router =
+            snap->router_ids[router_i % snap->router_ids.size()];
+        const std::uint64_t t_begin = now_ns();
+        std::uint64_t found = 0;
+        for (std::size_t i = 0; i < opt.lookup_batch; ++i) {
+          probe = probe * 2654435761u + 12345;
+          const bgp::Ipv4Prefix& p = index.prefix_at(probe % index.size());
+          const bgp::Ipv4Addr addr =
+              p.first() | (probe & (p.last() - p.first()));
+          found += snap->lookup(router, addr).has_value();
+        }
+        const std::uint64_t t_end = now_ns();
+        reader.unpin();
+        ++router_i;
+        reader.latency_hist().record(
+            static_cast<double>(t_end - t_begin) /
+            static_cast<double>(opt.lookup_batch));
+        reader.lookups() += opt.lookup_batch;
+        (void)found;
+      } while (!readers_stop.load(std::memory_order_acquire));
+    });
+  }
+
+  while (!service.done()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  readers_stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  // All trial readers have unpinned; the parked writer's horizon
+  // publish now cannot defer. Bounded wait so the report's
+  // virtual_time/fingerprint reflect the full churn plan even when a
+  // reader sat pinned across the horizon on a loaded host.
+  const auto horizon_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!service.horizon_published() &&
+         std::chrono::steady_clock::now() < horizon_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const ServiceStats stats = service.stats();
+  const obs::Histogram lookups = service.lookup_latency();
+  const obs::Histogram publishes = service.publish_latency();
+  const double wall_ns = static_cast<double>(now_ns() - wall0);
+
+  rep.lookups = service.total_lookups();
+  rep.lookups_per_sec =
+      wall_ns > 0 ? static_cast<double>(rep.lookups) / (wall_ns / 1e9) : 0;
+  rep.lookup_p50_ns = lookups.quantile(0.50);
+  rep.lookup_p99_ns = lookups.quantile(0.99);
+  rep.publish_p50_ns = publishes.quantile(0.50);
+  rep.publish_p99_ns = publishes.quantile(0.99);
+  rep.publishes = stats.publishes;
+  rep.publishes_deferred = stats.publishes_deferred;
+  rep.reclaimed = stats.reclaimed;
+  rep.retired_peak = stats.retired_peak;
+  rep.final_version = stats.version;
+  rep.final_fingerprint = stats.fingerprint;
+  rep.virtual_seconds = sim::to_seconds(stats.virtual_time - t0_virtual);
+  rep.wall_ms = wall_ns / 1e6;
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) rep.peak_rss_kb = usage.ru_maxrss;
+
+  service.stop();
+  return rep;
+}
+
+}  // namespace abrr::serve

@@ -1,0 +1,242 @@
+// RouteService: the serving mode's long-lived wrapper around one
+// converged trial.
+//
+// Threading model (the writer/reader contract, DESIGN.md §14):
+//  - start() launches the WRITER thread. It builds the whole world
+//    there — Testbed, regenerator, interner TrialScope are all
+//    thread-confined to it — converges it, publishes snapshot v1, then
+//    replays the churn plan (update trace + restricted fault chaos) in
+//    publish_period steps, republishing a delta-rebuilt snapshot after
+//    every step that dirtied at least one (router, prefix).
+//  - Readers (any thread) claim an epoch slot via Reader, pin around
+//    each query, and only ever touch the immutable RibSnapshot — never
+//    the testbed, the scheduler, or the interner.
+//  - Retired snapshots are reclaimed by the writer once no pinned
+//    epoch can still reference them (serve/epoch.h). A stuck reader
+//    therefore pins memory; the writer bounds it by DEFERRING further
+//    publishes once max_resident_snapshots would be exceeded, instead
+//    of growing the retire backlog.
+//
+// Lifetime contract: destroy (or at least stop using) all Readers
+// before destroying the service. stop() only stops the writer; the
+// last published snapshot stays readable until destruction.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "runner/scenario.h"
+#include "serve/epoch.h"
+#include "serve/snapshot.h"
+
+namespace abrr::serve {
+
+/// Writer + reclamation telemetry, readable from any thread.
+struct ServiceStats {
+  std::uint64_t publishes = 0;
+  std::uint64_t publishes_deferred = 0;
+  std::uint64_t reclaimed = 0;
+  std::uint64_t retired_pending = 0;
+  std::uint64_t retired_peak = 0;  // max resident retired snapshots seen
+  std::uint64_t version = 0;       // latest published snapshot version
+  std::uint64_t fingerprint = 0;   // ...and its RIB fingerprint
+  sim::Time virtual_time = 0;      // ...and its simulation clock
+  bool done = false;               // writer finished the churn horizon
+};
+
+class RouteService {
+ public:
+  /// `spec.serve` configures the churn plan and reclamation bounds
+  /// (spec.serve.enabled itself is not consulted here — constructing a
+  /// RouteService IS opting in). Throws std::invalid_argument on an
+  /// invalid spec.
+  RouteService(runner::ScenarioSpec spec, std::uint64_t seed,
+               std::size_t max_readers = 64);
+  ~RouteService();
+
+  RouteService(const RouteService&) = delete;
+  RouteService& operator=(const RouteService&) = delete;
+
+  /// Launches the writer thread and blocks until the converged initial
+  /// snapshot (version 1) is published. Rethrows writer build failures.
+  void start();
+
+  /// Asks the writer to stop at the next step boundary and joins it.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  /// True once the writer has replayed the full churn horizon (it may
+  /// still be parked waiting for stop()).
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+  /// True once the horizon-state snapshot (virtual_time == end of the
+  /// churn plan) is live. Can lag done(): a reader pinned across the
+  /// horizon makes the final publish defer; the parked writer keeps
+  /// retrying until the pin clears or stop().
+  bool horizon_published() const {
+    return horizon_published_.load(std::memory_order_acquire);
+  }
+
+  /// Virtual time of the converged pre-churn state (snapshot v1).
+  /// Recorded by the writer before start() returns; stable thereafter.
+  /// Reading stats().virtual_time for this instead races the writer:
+  /// on a loaded 1-CPU host it may have replayed part of the horizon
+  /// before the caller runs again.
+  sim::Time converged_time() const {
+    return t0_virtual_.load(std::memory_order_acquire);
+  }
+
+  ServiceStats stats() const;
+
+  /// Per-reader-thread handle: one epoch slot plus a thread-local
+  /// lookup-latency histogram (the registry is writer-confined, so
+  /// readers record locally; the service merges on Reader destruction).
+  class Reader {
+   public:
+    explicit Reader(RouteService& service);
+    ~Reader();
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
+
+    /// Pins the epoch and returns the live snapshot; the pointer is
+    /// valid until unpin(). Never nullptr after a successful start().
+    const RibSnapshot* pin() {
+      service_->epochs_.pin(slot_);
+      return service_->live_.load(std::memory_order_acquire);
+    }
+    void unpin() { service_->epochs_.unpin(slot_); }
+
+    /// One pinned query; convenience over pin()/unpin() for callers
+    /// that don't batch.
+    std::optional<RibSnapshot::Hit> lookup(bgp::RouterId router,
+                                           bgp::Ipv4Addr addr) {
+      const RibSnapshot* snap = pin();
+      auto hit = snap->lookup(router, addr);
+      unpin();
+      return hit;
+    }
+
+    /// Thread-local latency samples (ns per lookup); merged into the
+    /// service aggregate when the Reader is destroyed.
+    obs::Histogram& latency_hist() { return latency_; }
+    std::uint64_t& lookups() { return lookups_; }
+
+   private:
+    RouteService* service_;
+    std::size_t slot_;
+    obs::Histogram latency_;
+    std::uint64_t lookups_ = 0;
+  };
+
+  /// Merged view of every destroyed Reader's latency histogram.
+  obs::Histogram lookup_latency() const;
+  std::uint64_t total_lookups() const {
+    return total_lookups_.load(std::memory_order_relaxed);
+  }
+  /// Writer-side wall-clock snapshot publish latency (ns).
+  obs::Histogram publish_latency() const;
+
+  EpochDomain& epochs() { return epochs_; }
+
+ private:
+  friend class Reader;
+
+  void writer_main();
+  struct WriterState;  // everything thread-confined to the writer
+  bool try_publish(WriterState& w, sim::Time now);
+  std::size_t reclaim();
+
+  runner::ScenarioSpec spec_;
+  std::uint64_t seed_;
+
+  EpochDomain epochs_;
+  std::atomic<const RibSnapshot*> live_{nullptr};
+  RetireBin<RibSnapshot> bin_;  // writer thread only (dtor after join)
+
+  std::thread writer_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> horizon_published_{false};
+  std::atomic<bool> started_{false};
+
+  // start() handshake + build-failure propagation.
+  std::mutex ready_mutex_;
+  std::condition_variable ready_cv_;
+  bool ready_ = false;
+  std::string writer_error_;
+
+  // Stats (writer publishes, anyone reads).
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> deferred_{0};
+  std::atomic<std::uint64_t> reclaimed_{0};
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> retired_peak_{0};
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::uint64_t> fingerprint_{0};
+  std::atomic<std::int64_t> virtual_time_{0};
+  std::atomic<std::int64_t> t0_virtual_{0};
+
+  // Merged reader-side latency + writer-side publish latency.
+  mutable std::mutex hist_mutex_;
+  obs::Histogram lookup_hist_;
+  obs::Histogram publish_hist_;
+  std::atomic<std::uint64_t> total_lookups_{0};
+};
+
+/// Batch-mode comparator for the snapshot-consistency contract: builds
+/// the identical world from (spec, seed), converges it, arms the
+/// identical churn plan, runs ONE run_until to the absolute virtual
+/// time `at`, and returns fault::rib_fingerprint of the bed. A
+/// snapshot published at virtual_time T must carry exactly
+/// batch_fingerprint_at(spec, seed, T).
+std::uint64_t batch_fingerprint_at(const runner::ScenarioSpec& spec,
+                                   std::uint64_t seed, sim::Time at);
+
+/// The converged (pre-churn) virtual time of a (spec, seed) world —
+/// snapshot v1's virtual_time.
+sim::Time batch_converged_time(const runner::ScenarioSpec& spec,
+                               std::uint64_t seed);
+
+// --- serve trial mode ---------------------------------------------------
+
+struct ServeTrialOptions {
+  std::size_t readers = 1;
+  /// Lookups per timing sample: the clock is read once per batch and
+  /// the mean per-lookup latency recorded batch-wise (amortizes
+  /// clock_gettime; tails are per-batch means, see EXPERIMENTS.md).
+  std::size_t lookup_batch = 64;
+};
+
+/// One serving run's report (bench/serve emits these as JSON).
+struct ServeReport {
+  std::uint64_t lookups = 0;
+  double lookups_per_sec = 0;
+  double lookup_p50_ns = 0;
+  double lookup_p99_ns = 0;
+  double publish_p50_ns = 0;
+  double publish_p99_ns = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t publishes_deferred = 0;
+  std::uint64_t reclaimed = 0;
+  std::uint64_t retired_peak = 0;
+  std::uint64_t final_version = 0;
+  std::uint64_t final_fingerprint = 0;
+  double virtual_seconds = 0;  // churn horizon actually replayed
+  double wall_ms = 0;
+  long peak_rss_kb = 0;  // getrusage(RUSAGE_SELF).ru_maxrss
+};
+
+/// Runs a full serving trial: starts the service, hammers it with
+/// `opt.readers` lookup threads (deterministic probe sequence) until
+/// the writer finishes its churn horizon, and collects the report.
+ServeReport run_serve_trial(const runner::ScenarioSpec& spec,
+                            std::uint64_t seed,
+                            const ServeTrialOptions& opt = {});
+
+}  // namespace abrr::serve

@@ -1,0 +1,99 @@
+// Immutable per-router RIB snapshots for the serving read path.
+//
+// A snapshot is what the writer publishes through the epoch domain and
+// what readers answer queries from. It is deliberately free of live
+// simulation state: route attributes are flattened to PODs (no AttrsPtr
+// into the writer-confined interner), and the LPM directory is shared
+// (one immutable LpmIndex over the fixed prefix universe serves every
+// router and every snapshot). Per-router tables are dense slot-indexed
+// arrays, copy-on-write shared with the previous snapshot: publishing a
+// delta only materializes the routers whose RIBs actually changed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bgp/flat_lpm.h"
+#include "bgp/prefix.h"
+#include "bgp/types.h"
+#include "sim/time.h"
+
+namespace abrr::serve {
+
+/// One Loc-RIB best route, flattened. `attrs_hash` is the canonical
+/// attribute content hash — enough to fingerprint and to compare
+/// against batch runs without dereferencing the interner.
+struct RouteEntry {
+  std::uint64_t attrs_hash = 0;
+  bgp::Ipv4Addr next_hop = 0;
+  bgp::RouterId learned_from = bgp::kNoRouter;
+  bgp::PathId path_id = 0;
+  std::uint8_t present = 0;  // 0 = this router holds no best for the slot
+};
+
+class RibSnapshot {
+ public:
+  using Table = std::vector<RouteEntry>;
+
+  /// Shared across all snapshots of a service: slot i == PrefixIndex
+  /// id i == index into every Table.
+  std::shared_ptr<const bgp::LpmIndex> index;
+
+  /// Simulation clock at publish; snapshots are states of the virtual
+  /// world, so consistency is checked against batch runs stopped here.
+  sim::Time virtual_time = 0;
+  /// Publish sequence number (1 = the converged initial state).
+  std::uint64_t version = 0;
+  /// Order-independent RIB digest, bit-identical to
+  /// fault::rib_fingerprint() of a batch bed at virtual_time.
+  std::uint64_t fingerprint = 0;
+
+  /// Ascending router ids and their tables (parallel vectors).
+  std::vector<bgp::RouterId> router_ids;
+  std::vector<std::shared_ptr<const Table>> tables;
+  /// Dense RouterId -> position+1 into the vectors above (0 = unknown).
+  std::vector<std::uint32_t> router_pos;
+
+  const Table* table_of(bgp::RouterId id) const {
+    if (id >= router_pos.size()) return nullptr;
+    const std::uint32_t p = router_pos[id];
+    return p == 0 ? nullptr : tables[p - 1].get();
+  }
+
+  struct Hit {
+    bgp::Ipv4Prefix prefix;
+    const RouteEntry* entry = nullptr;
+  };
+
+  /// "What route does `router` use for `addr`?" — the serving query.
+  /// Walks up the containment chain past slots the router holds no
+  /// entry for (possible mid-churn; zero steps once converged).
+  std::optional<Hit> lookup(bgp::RouterId router, bgp::Ipv4Addr addr) const {
+    const Table* table = table_of(router);
+    if (table == nullptr) return std::nullopt;
+    std::uint32_t slot = index->leaf_of(addr);
+    while (slot != bgp::LpmIndex::kNoSlot) {
+      const RouteEntry& e = (*table)[slot];
+      if (e.present) return Hit{index->prefix_at(slot), &e};
+      slot = index->parent_of(slot);
+    }
+    return std::nullopt;
+  }
+
+  /// Approximate bytes resident in THIS snapshot's unshared state
+  /// (tables are counted even when shared with a neighbor snapshot;
+  /// the index is excluded — it is shared service-wide).
+  std::size_t bytes() const {
+    std::size_t b = sizeof(RibSnapshot) +
+                    router_ids.capacity() * sizeof(bgp::RouterId) +
+                    router_pos.capacity() * sizeof(std::uint32_t);
+    for (const auto& t : tables) {
+      b += t ? t->capacity() * sizeof(RouteEntry) : 0;
+    }
+    return b;
+  }
+};
+
+}  // namespace abrr::serve

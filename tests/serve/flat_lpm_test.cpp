@@ -1,0 +1,178 @@
+// Property tests for the flat LPM directory (bgp/flat_lpm.h): on any
+// static table, FlatLpm must answer longest_match exactly like the
+// reference PrefixTrie, including /25+ overflow lists, duplicate
+// prefixes, and a default route; LpmIndex's leaf/parent structure must
+// match a brute-force containment scan.
+#include "bgp/flat_lpm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bgp/prefix_trie.h"
+#include "sim/random.h"
+
+namespace abrr::bgp {
+namespace {
+
+std::vector<std::pair<Ipv4Prefix, int>> random_table(sim::Rng& rng, int n,
+                                                     int min_len,
+                                                     int max_len) {
+  std::vector<std::pair<Ipv4Prefix, int>> table;
+  table.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto addr =
+        static_cast<Ipv4Addr>(rng.uniform_int(0, 0xFFFFFFFFll));
+    const auto len =
+        static_cast<std::uint8_t>(rng.uniform_int(min_len, max_len));
+    table.emplace_back(Ipv4Prefix{addr, len}, i);
+  }
+  return table;
+}
+
+/// Flat and trie answers must agree on random probes plus every table
+/// prefix's first/last address (the fill-boundary corner cases).
+void expect_matches_trie(const std::vector<std::pair<Ipv4Prefix, int>>& table,
+                         int probes, std::uint64_t probe_seed) {
+  const FlatLpm<int> flat{table};
+  PrefixTrie<int> trie;
+  for (const auto& [prefix, value] : table) trie.insert(prefix, value);
+
+  const auto check = [&](Ipv4Addr addr) {
+    const auto expected = trie.longest_match(addr);
+    const auto got = flat.longest_match(addr);
+    ASSERT_EQ(expected.has_value(), got.has_value()) << "addr=" << addr;
+    if (expected) {
+      EXPECT_EQ(expected->first, got->first) << "addr=" << addr;
+      EXPECT_EQ(*expected->second, *got->second) << "addr=" << addr;
+    }
+  };
+
+  sim::Rng rng{probe_seed};
+  for (int i = 0; i < probes; ++i) {
+    check(static_cast<Ipv4Addr>(rng.uniform_int(0, 0xFFFFFFFFll)));
+  }
+  for (const auto& [prefix, value] : table) {
+    check(prefix.first());
+    check(prefix.last());
+  }
+}
+
+TEST(FlatLpm, MatchesTrieOnMixedLengths) {
+  sim::Rng rng{7};
+  expect_matches_trie(random_table(rng, 4000, 8, 24), 20000, 17);
+}
+
+TEST(FlatLpm, MatchesTrieWithOverflowPrefixes) {
+  sim::Rng rng{8};
+  // /25../32 exercise the per-/24 overflow lists, mixed with their
+  // covering shorter prefixes.
+  expect_matches_trie(random_table(rng, 3000, 16, 32), 20000, 18);
+}
+
+TEST(FlatLpm, MatchesTrieOnPureHostRoutes) {
+  sim::Rng rng{9};
+  expect_matches_trie(random_table(rng, 500, 25, 32), 10000, 19);
+}
+
+TEST(FlatLpm, DefaultRouteCoversEverything) {
+  std::vector<std::pair<Ipv4Prefix, int>> table;
+  table.emplace_back(Ipv4Prefix{0, 0}, 1);            // 0.0.0.0/0
+  table.emplace_back(Ipv4Prefix{0x0A000000, 8}, 2);   // 10.0.0.0/8
+  table.emplace_back(Ipv4Prefix{0x0A010000, 16}, 3);  // 10.1.0.0/16
+  const FlatLpm<int> flat{table};
+  EXPECT_EQ(*flat.longest_match(0xFFFFFFFF)->second, 1);
+  EXPECT_EQ(*flat.longest_match(0x0AFF0000)->second, 2);
+  EXPECT_EQ(*flat.longest_match(0x0A01FF00)->second, 3);
+  expect_matches_trie(table, 5000, 20);
+}
+
+TEST(FlatLpm, DuplicatePrefixesLastValueWins) {
+  std::vector<std::pair<Ipv4Prefix, int>> table{
+      {Ipv4Prefix{0x0A000000, 16}, 1},
+      {Ipv4Prefix{0x0B000000, 16}, 2},
+      {Ipv4Prefix{0x0A000000, 16}, 3},  // duplicate; must win
+  };
+  const FlatLpm<int> flat{table};
+  EXPECT_EQ(*flat.longest_match(0x0A000001)->second, 3);
+  EXPECT_EQ(*flat.longest_match(0x0B000001)->second, 2);
+  expect_matches_trie(table, 1000, 21);
+}
+
+TEST(FlatLpm, EmptyTableAndDefaultConstructed) {
+  const FlatLpm<int> empty{std::vector<std::pair<Ipv4Prefix, int>>{}};
+  EXPECT_FALSE(empty.longest_match(0x0A000000).has_value());
+  const FlatLpm<int> def;
+  EXPECT_FALSE(def.longest_match(0x0A000000).has_value());
+  const LpmIndex idx;
+  EXPECT_EQ(idx.leaf_of(0), LpmIndex::kNoSlot);
+  EXPECT_TRUE(idx.empty());
+}
+
+/// leaf_of == the longest containing prefix, parent_of == the longest
+/// STRICTLY shorter containing prefix — checked against brute force on
+/// a deduplicated universe.
+TEST(LpmIndex, LeafAndParentMatchBruteForce) {
+  sim::Rng rng{11};
+  std::vector<Ipv4Prefix> universe;
+  for (int i = 0; i < 600; ++i) {
+    const auto addr =
+        static_cast<Ipv4Addr>(rng.uniform_int(0, 0xFFFFFFFFll));
+    const Ipv4Prefix p{addr,
+                       static_cast<std::uint8_t>(rng.uniform_int(6, 30))};
+    bool dup = false;
+    for (const Ipv4Prefix& q : universe) dup = dup || q == p;
+    if (!dup) universe.push_back(p);
+  }
+  const LpmIndex index{universe};
+  ASSERT_EQ(index.size(), universe.size());
+
+  for (int i = 0; i < 20000; ++i) {
+    const auto addr =
+        static_cast<Ipv4Addr>(rng.uniform_int(0, 0xFFFFFFFFll));
+    std::uint32_t best = LpmIndex::kNoSlot;
+    for (std::uint32_t s = 0; s < universe.size(); ++s) {
+      if (!universe[s].contains(addr)) continue;
+      if (best == LpmIndex::kNoSlot ||
+          universe[s].length() > universe[best].length()) {
+        best = s;
+      }
+    }
+    ASSERT_EQ(index.leaf_of(addr), best) << "addr=" << addr;
+  }
+
+  for (std::uint32_t s = 0; s < universe.size(); ++s) {
+    std::uint32_t expected = LpmIndex::kNoSlot;
+    for (std::uint32_t t = 0; t < universe.size(); ++t) {
+      if (t == s || !universe[t].contains(universe[s]) ||
+          universe[t].length() >= universe[s].length()) {
+        continue;
+      }
+      if (expected == LpmIndex::kNoSlot ||
+          universe[t].length() > universe[expected].length()) {
+        expected = t;
+      }
+    }
+    EXPECT_EQ(index.parent_of(s), expected)
+        << universe[s].to_string() << " slot=" << s;
+  }
+}
+
+TEST(LpmIndex, DuplicatesShareTheFirstSlot) {
+  const std::vector<Ipv4Prefix> universe{
+      Ipv4Prefix{0x0A000000, 16},
+      Ipv4Prefix{0x0A000000, 8},
+      Ipv4Prefix{0x0A000000, 16},  // duplicate of slot 0
+  };
+  const LpmIndex index{universe};
+  EXPECT_EQ(index.leaf_of(0x0A000001), 0u);
+  // The duplicate aliases the canonical slot's parent.
+  EXPECT_EQ(index.parent_of(0), 1u);
+  EXPECT_EQ(index.parent_of(2), 1u);
+  EXPECT_EQ(index.parent_of(1), LpmIndex::kNoSlot);
+}
+
+}  // namespace
+}  // namespace abrr::bgp

@@ -1,0 +1,195 @@
+// RouteService contract tests: every published snapshot is a state of
+// the virtual world — its fingerprint must be bit-identical to a batch
+// run of the same (spec, seed) stopped at the same virtual time, in
+// every iBGP mode; reclamation must bound resident snapshots under a
+// stuck reader instead of crashing or leaking.
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "runner/scenario.h"
+
+namespace abrr::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Tiny but real serving world: 3 PoPs, churn + session/delay/loss
+/// chaos, frequent publishes so tests observe several snapshots.
+runner::ScenarioSpec serve_tiny(ibgp::IbgpMode mode) {
+  runner::ScenarioSpec spec;
+  spec.name = std::string{"serve_"} + runner::mode_name(mode);
+  spec.mode = mode;
+  spec.topology.pops = 3;
+  spec.topology.clients_per_pop = 2;
+  spec.topology.peer_ases = 4;
+  spec.topology.points_per_as = 2;
+  spec.workload.prefixes = 48;
+  spec.workload.snapshot_seconds = 5.0;
+  spec.abrr.num_aps = 2;
+  spec.serve.enabled = true;
+  spec.serve.churn_seconds = 4.0;
+  spec.serve.churn_events_per_second = 40.0;
+  spec.serve.chaos_events = 4;
+  spec.serve.publish_period_seconds = 0.25;
+  return spec;
+}
+
+std::vector<ibgp::IbgpMode> modes_under_test() {
+#if defined(__SANITIZE_THREAD__)
+  // TSan runs ~10x slower on this 1-CPU host; one mode is enough for
+  // the race check (the fingerprint matrix runs in the plain preset).
+  return {ibgp::IbgpMode::kAbrr};
+#else
+  return {ibgp::IbgpMode::kFullMesh, ibgp::IbgpMode::kTbrr,
+          ibgp::IbgpMode::kAbrr, ibgp::IbgpMode::kDual};
+#endif
+}
+
+TEST(RouteService, SnapshotsMatchBatchRunsAtSameVirtualTime) {
+  constexpr std::uint64_t kSeed = 11;
+  for (const ibgp::IbgpMode mode : modes_under_test()) {
+    const runner::ScenarioSpec spec = serve_tiny(mode);
+    SCOPED_TRACE(spec.name);
+
+    std::map<sim::Time, std::uint64_t> observed;  // virtual_time -> fp
+    {
+      RouteService service{spec, kSeed};
+      service.start();
+      RouteService::Reader reader{service};
+      while (!service.done()) {
+        const RibSnapshot* snap = reader.pin();
+        ASSERT_NE(snap, nullptr);
+        EXPECT_GE(snap->version, 1u);
+        const auto [it, inserted] =
+            observed.emplace(snap->virtual_time, snap->fingerprint);
+        // Two snapshots at one virtual time would have to be the same
+        // world state; conflicting fingerprints mean nondeterminism.
+        EXPECT_EQ(it->second, snap->fingerprint);
+        reader.unpin();
+        std::this_thread::yield();
+      }
+      const RibSnapshot* last = reader.pin();
+      observed.emplace(last->virtual_time, last->fingerprint);
+      reader.unpin();
+      service.stop();
+    }
+    // The final pin guarantees at least one observation; on this slow
+    // 1-CPU host the aggressive sampler typically catches several
+    // mid-churn snapshots too, but that is scheduling-dependent.
+    ASSERT_GE(observed.size(), 1u);
+
+    // The converged v1 snapshot must be among the observations (the
+    // sampler pins before any churn step can retire it... it may have
+    // missed it; check the batch-converged time is <= every sample).
+    const sim::Time t0 = batch_converged_time(spec, kSeed);
+    EXPECT_GE(observed.begin()->first, t0);
+
+    // Verify a bounded sample: first, last, and up to three middles.
+    std::vector<std::pair<sim::Time, std::uint64_t>> picks;
+    picks.push_back(*observed.begin());
+    picks.push_back(*observed.rbegin());
+    std::size_t i = 0;
+    const std::size_t stride = observed.size() / 4 + 1;
+    for (const auto& sample : observed) {
+      if (++i % stride == 0) picks.push_back(sample);
+    }
+    for (const auto& [at, fp] : picks) {
+      EXPECT_EQ(batch_fingerprint_at(spec, kSeed, at), fp)
+          << "virtual_time=" << at;
+    }
+  }
+}
+
+TEST(RouteService, StuckReaderBoundsResidentSnapshotsAndDefers) {
+  runner::ScenarioSpec spec = serve_tiny(ibgp::IbgpMode::kTbrr);
+  spec.serve.max_resident_snapshots = 3;
+  RouteService service{spec, 11};
+  // Pin BEFORE the writer starts (live is still null, so ignore the
+  // returned pointer): on a 1-CPU host pinning after start() races the
+  // writer, which can replay the whole horizon in its first quantum.
+  RouteService::Reader stuck{service};
+  stuck.pin();
+  service.start();
+
+  while (!service.done()) std::this_thread::sleep_for(2ms);
+  ServiceStats stats = service.stats();
+  // cap=3 => at most cap-1 = 2 retired snapshots can sit unreclaimable
+  // (live + new + 1 retiree reaches the cap), then every further
+  // publish defers. v1 + two more publishes fit under that bound.
+  EXPECT_LE(stats.retired_peak, 2u);
+  EXPECT_LE(stats.retired_pending, 2u);
+  EXPECT_GT(stats.publishes_deferred, 0u);
+  EXPECT_LE(stats.publishes, 3u);
+  // The live snapshot stays fully readable for other readers.
+  {
+    RouteService::Reader reader{service};
+    const RibSnapshot* live = reader.pin();
+    ASSERT_NE(live, nullptr);
+    EXPECT_GE(live->version, 1u);
+    EXPECT_GE(live->router_ids.size(), 1u);
+    reader.unpin();
+  }
+
+  stuck.unpin();
+  // The parked writer reclaims once the pin is gone.
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (service.stats().retired_pending > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  EXPECT_EQ(service.stats().retired_pending, 0u);
+  service.stop();
+}
+
+TEST(RouteService, ServeTrialReportsAndFinalStateMatchesBatch) {
+  const runner::ScenarioSpec spec = serve_tiny(ibgp::IbgpMode::kDual);
+  constexpr std::uint64_t kSeed = 12;
+  ServeTrialOptions opt;
+  opt.readers = 2;
+  opt.lookup_batch = 16;
+  const ServeReport report = run_serve_trial(spec, kSeed, opt);
+
+  EXPECT_GT(report.lookups, 0u);
+  EXPECT_GT(report.lookups_per_sec, 0.0);
+  EXPECT_GE(report.publishes, 2u);
+  EXPECT_GE(report.final_version, report.publishes);
+  EXPECT_NEAR(report.virtual_seconds, spec.serve.churn_seconds, 1e-6);
+  EXPECT_GT(report.peak_rss_kb, 0);
+
+  const sim::Time t_end = batch_converged_time(spec, kSeed) +
+                          sim::sec_f(spec.serve.churn_seconds);
+  EXPECT_EQ(report.final_fingerprint,
+            batch_fingerprint_at(spec, kSeed, t_end));
+}
+
+TEST(RouteService, RejectsInvalidServeSpecs) {
+  {
+    runner::ScenarioSpec spec = serve_tiny(ibgp::IbgpMode::kAbrr);
+    spec.fault.enabled = true;
+    EXPECT_THROW((RouteService{spec, 1}), std::invalid_argument);
+  }
+  {
+    runner::ScenarioSpec spec = serve_tiny(ibgp::IbgpMode::kAbrr);
+    spec.serve.publish_period_seconds = 0;
+    EXPECT_THROW((RouteService{spec, 1}), std::invalid_argument);
+  }
+  {
+    runner::ScenarioSpec spec = serve_tiny(ibgp::IbgpMode::kAbrr);
+    spec.serve.max_resident_snapshots = 1;
+    EXPECT_THROW((RouteService{spec, 1}), std::invalid_argument);
+  }
+  {
+    runner::ScenarioSpec spec = serve_tiny(ibgp::IbgpMode::kAbrr);
+    spec.use_prefix_index = false;
+    EXPECT_THROW((RouteService{spec, 1}), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace abrr::serve
