@@ -2,9 +2,11 @@
 # Runs the micro-benchmarks (BENCH_micro.json), the fault-resilience
 # experiment (BENCH_fault.json + BENCH_fault_metrics.json), the
 # parallel sweep (BENCH_sweep.json, which also proves --jobs=N output is
-# byte-identical to --jobs=1) and the serving-mode trial
+# byte-identical to --jobs=1), the serving-mode trial
 # (BENCH_serve.json: lookups/sec, per-lookup and publish latency
-# quantiles, reclamation stats, peak RSS).
+# quantiles, reclamation stats, peak RSS) and the TCP front-end sweep
+# (BENCH_frontend.json: connections x batch-size cells, RTT quantiles,
+# wire bytes, slowdown vs the in-process read path).
 #
 # Usage: bench/run_bench.sh [--out-dir=DIR] [--jobs=N] [--preset=NAME]
 #                           [build-dir] [extra google-benchmark flags...]
@@ -22,7 +24,8 @@
 # check (only) with ABRR_ALLOW_STALE=1. Skip the (slower) fault
 # experiment with ABRR_SKIP_FAULT_BENCH=1; skip the sweep with
 # ABRR_SKIP_SWEEP_BENCH=1; skip the serving trial with
-# ABRR_SKIP_SERVE_BENCH=1.
+# ABRR_SKIP_SERVE_BENCH=1; skip the TCP front-end sweep with
+# ABRR_SKIP_FRONTEND_BENCH=1.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -116,11 +119,13 @@ check_fresh "$bench_bin"
 # Preflight: the allocation-path tests (arena, scheduler event pool,
 # interner trial scope) guard the machinery these benches measure, the
 # wire suite guards the measured byte columns the reports now carry,
-# and the serve suite guards the snapshot/LPM read path the serving
-# trial times — refuse to publish numbers from a build where any fails.
+# the serve suite guards the snapshot/LPM read path the serving trial
+# times, and the frontend suite guards the ABRR-Q protocol the TCP
+# sweep drives — refuse to publish numbers from a build where any
+# fails.
 if command -v ctest >/dev/null 2>&1; then
-  echo "preflight: ctest -L '(alloc|wire|serve)' in $build_dir"
-  if ! ctest --test-dir "$build_dir" -L '(alloc|wire|serve)' --output-on-failure; then
+  echo "preflight: ctest -L '(alloc|wire|serve|frontend)' in $build_dir"
+  if ! ctest --test-dir "$build_dir" -L '(alloc|wire|serve|frontend)' --output-on-failure; then
     echo "error: preflight tests failed; not running benches" >&2
     exit 1
   fi
@@ -162,4 +167,15 @@ if [[ "${ABRR_SKIP_SERVE_BENCH:-0}" != "1" ]]; then
     --prefixes="${ABRR_SERVE_PREFIXES:-2000}" \
     --readers="${ABRR_SERVE_READERS:-2}" \
     --json_out="$out_dir/BENCH_serve.json"
+fi
+
+if [[ "${ABRR_SKIP_FRONTEND_BENCH:-0}" != "1" ]]; then
+  frontend_bin="$build_dir/bench/frontend_bench"
+  check_fresh "$frontend_bin"
+  # One CPU here: client threads and the server loop time-slice one
+  # core, so judge the transport by per-batch RTT and by
+  # slowdown_vs_inprocess at --connections=1 (see EXPERIMENTS.md).
+  "$frontend_bin" \
+    --prefixes="${ABRR_FRONTEND_PREFIXES:-2000}" \
+    --json_out="$out_dir/BENCH_frontend.json"
 fi

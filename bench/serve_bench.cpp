@@ -8,7 +8,6 @@
 // core, so aggregate lookups/sec does NOT scale with --readers and
 // wall_ms mostly measures the simulation replay. Judge the read path
 // by per-lookup latency at --readers=1; see EXPERIMENTS.md.
-#include <cinttypes>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -21,12 +20,9 @@ namespace {
 
 struct ServeBenchConfig {
   ExperimentConfig base;
+  ServingBenchParams serving;
   unsigned long readers = 2;
   unsigned long lookup_batch = 64;
-  double churn_seconds = 10.0;
-  double churn_events_per_second = 50.0;
-  unsigned long chaos_events = 8;
-  double publish_period_seconds = 0.25;
   std::string json_out = "BENCH_serve.json";
 };
 
@@ -41,40 +37,14 @@ ServeBenchConfig parse_args(int argc, char** argv) {
   cfg.base.points_per_as = 3;
   runner::ArgParser parser{"serve_bench"};
   cfg.base.register_flags(parser);
+  cfg.serving.register_flags(parser);
   parser.add("readers", "concurrent lookup threads", &cfg.readers);
   parser.add("lookup-batch", "lookups per reader timing sample",
              &cfg.lookup_batch);
-  parser.add("churn-seconds", "virtual churn horizon per trial",
-             &cfg.churn_seconds);
-  parser.add("churn-eps", "update-trace churn events per virtual second",
-             &cfg.churn_events_per_second);
-  parser.add("chaos-events", "session/delay/loss fault events mixed in",
-             &cfg.chaos_events);
-  parser.add("publish-period", "virtual seconds between publish attempts",
-             &cfg.publish_period_seconds);
   parser.add("json_out", "write the report here", &cfg.json_out);
   parser.parse(argc, argv);
   cfg.base.finish();
   return cfg;
-}
-
-runner::ScenarioSpec serve_spec(ibgp::IbgpMode mode,
-                                const ServeBenchConfig& cfg) {
-  runner::ScenarioSpec spec;
-  spec.name = std::string{"serve/"} + runner::mode_name(mode);
-  spec.mode = mode;
-  spec.topology.pops = cfg.base.pops;
-  spec.topology.clients_per_pop = cfg.base.clients_per_pop;
-  spec.topology.peer_ases = cfg.base.peer_ases;
-  spec.topology.points_per_as = cfg.base.points_per_as;
-  spec.workload.prefixes = cfg.base.prefixes;
-  spec.abrr.num_aps = 2;
-  spec.serve.enabled = true;
-  spec.serve.churn_seconds = cfg.churn_seconds;
-  spec.serve.churn_events_per_second = cfg.churn_events_per_second;
-  spec.serve.chaos_events = cfg.chaos_events;
-  spec.serve.publish_period_seconds = cfg.publish_period_seconds;
-  return spec;
 }
 
 struct Row {
@@ -95,46 +65,46 @@ void print_row(const Row& row) {
 
 void write_json(const std::string& path, const ServeBenchConfig& cfg,
                 const std::vector<Row>& rows) {
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    std::exit(1);
+  JsonWriter json{path};
+  json.begin_object();
+  json.field("bench", "serve");
+  json.begin_object("config");
+  json.field("prefixes", cfg.base.prefixes);
+  json.field("pops", cfg.base.pops);
+  json.field("seed", cfg.base.seed);
+  json.field("readers", static_cast<std::uint64_t>(cfg.readers));
+  json.field("lookup_batch", static_cast<std::uint64_t>(cfg.lookup_batch));
+  json.field("churn_seconds", cfg.serving.churn_seconds);
+  json.field("churn_eps", cfg.serving.churn_events_per_second);
+  json.field("chaos_events",
+             static_cast<std::uint64_t>(cfg.serving.chaos_events));
+  json.field("publish_period", cfg.serving.publish_period_seconds);
+  json.end_object();
+  json.begin_array("results");
+  for (const Row& row : rows) {
+    const serve::ServeReport& r = row.report;
+    json.begin_object();
+    json.field("mode", row.mode);
+    json.field("lookups", r.lookups);
+    json.field("lookups_per_sec", r.lookups_per_sec);
+    json.field("lookup_p50_ns", r.lookup_p50_ns);
+    json.field("lookup_p99_ns", r.lookup_p99_ns);
+    json.field("publish_p50_ns", r.publish_p50_ns);
+    json.field("publish_p99_ns", r.publish_p99_ns);
+    json.field("publishes", r.publishes);
+    json.field("publishes_deferred", r.publishes_deferred);
+    json.field("reclaimed", r.reclaimed);
+    json.field("retired_peak", r.retired_peak);
+    json.field("final_version", r.final_version);
+    json.field_hex("final_fingerprint", r.final_fingerprint);
+    json.field("virtual_seconds", r.virtual_seconds);
+    json.field("wall_ms", r.wall_ms);
+    json.field("peak_rss_kb", r.peak_rss_kb);
+    json.end_object();
   }
-  std::fprintf(f, "{\n  \"bench\": \"serve\",\n");
-  std::fprintf(f,
-               "  \"config\": {\"prefixes\": %zu, \"pops\": %u, "
-               "\"seed\": %" PRIu64 ", \"readers\": %lu, "
-               "\"lookup_batch\": %lu,\n             "
-               "\"churn_seconds\": %.3f, \"churn_eps\": %.1f, "
-               "\"chaos_events\": %lu, \"publish_period\": %.3f},\n",
-               cfg.base.prefixes, cfg.base.pops, cfg.base.seed, cfg.readers,
-               cfg.lookup_batch, cfg.churn_seconds,
-               cfg.churn_events_per_second, cfg.chaos_events,
-               cfg.publish_period_seconds);
-  std::fprintf(f, "  \"results\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const serve::ServeReport& r = rows[i].report;
-    std::fprintf(
-        f,
-        "    {\"mode\": \"%s\", \"lookups\": %" PRIu64
-        ", \"lookups_per_sec\": %.1f,\n"
-        "     \"lookup_p50_ns\": %.1f, \"lookup_p99_ns\": %.1f,\n"
-        "     \"publish_p50_ns\": %.1f, \"publish_p99_ns\": %.1f,\n"
-        "     \"publishes\": %" PRIu64 ", \"publishes_deferred\": %" PRIu64
-        ", \"reclaimed\": %" PRIu64 ", \"retired_peak\": %" PRIu64 ",\n"
-        "     \"final_version\": %" PRIu64
-        ", \"final_fingerprint\": \"%016" PRIx64 "\",\n"
-        "     \"virtual_seconds\": %.3f, \"wall_ms\": %.1f, "
-        "\"peak_rss_kb\": %ld}%s\n",
-        rows[i].mode.c_str(), r.lookups, r.lookups_per_sec, r.lookup_p50_ns,
-        r.lookup_p99_ns, r.publish_p50_ns, r.publish_p99_ns, r.publishes,
-        r.publishes_deferred, r.reclaimed, r.retired_peak, r.final_version,
-        r.final_fingerprint, r.virtual_seconds, r.wall_ms, r.peak_rss_kb,
-        i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  json.end_array();
+  json.end_object();
+  json.close();
 }
 
 }  // namespace
@@ -156,7 +126,8 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   for (const ibgp::IbgpMode mode : modes) {
-    const runner::ScenarioSpec spec = serve_spec(mode, cfg);
+    const runner::ScenarioSpec spec =
+        serving_spec(mode, cfg.base, cfg.serving, "serve");
     rows.push_back(
         Row{runner::mode_name(mode),
             serve::run_serve_trial(spec, cfg.base.seed, opt)});

@@ -1,0 +1,184 @@
+#include "frontend/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace abrr::frontend {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("frontend::Client: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+void Client::connect(std::uint16_t port, int timeout_ms) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("connect");
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  recvbuf_.clear();
+}
+
+void Client::send_all(const std::vector<std::uint8_t>& frame) {
+  if (fd_ < 0) throw std::runtime_error("frontend::Client: not connected");
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    off += static_cast<std::size_t>(n);
+    bytes_sent_ += static_cast<std::uint64_t>(n);
+  }
+}
+
+void Client::recv_frame(FrameHeader& header, std::vector<std::uint8_t>& payload) {
+  if (fd_ < 0) throw std::runtime_error("frontend::Client: not connected");
+  for (;;) {
+    Frame frame;
+    std::size_t consumed = 0;
+    ProtoError err;
+    switch (decode_frame(recvbuf_, frame, consumed, err)) {
+      case DecodeStatus::kFrame: {
+        header = frame.header;
+        payload.assign(frame.payload.begin(), frame.payload.end());
+        recvbuf_.erase(recvbuf_.begin(),
+                       recvbuf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+        if (header.type == FrameType::kError) {
+          WireError werr;
+          std::string what = "frontend::Client: server ERROR";
+          if (!decode_error(payload, werr)) {
+            what += " code=" + std::to_string(werr.code);
+            if (!werr.detail.empty()) what += " (" + werr.detail + ")";
+          }
+          throw std::runtime_error(what);
+        }
+        return;
+      }
+      case DecodeStatus::kError:
+        throw std::runtime_error("frontend::Client: bad frame from server: " +
+                                 err.to_string());
+      case DecodeStatus::kNeedMore:
+        break;
+    }
+    std::uint8_t chunk[16384];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0)
+      throw std::runtime_error("frontend::Client: connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw std::runtime_error("frontend::Client: receive timeout");
+      throw_errno("recv");
+    }
+    recvbuf_.insert(recvbuf_.end(), chunk, chunk + n);
+    bytes_received_ += static_cast<std::uint64_t>(n);
+  }
+}
+
+HelloAck Client::hello() {
+  const std::uint16_t seq = next_seq_++;
+  sendbuf_.clear();
+  append_hello(sendbuf_, seq);
+  send_all(sendbuf_);
+
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  recv_frame(header, payload);
+  if (header.type != FrameType::kHelloAck || header.seq != seq)
+    throw std::runtime_error("frontend::Client: unexpected HELLO reply");
+  HelloAck ack;
+  if (auto err = decode_hello_ack(payload, ack))
+    throw std::runtime_error("frontend::Client: bad HELLO_ACK: " +
+                             err->to_string());
+  return ack;
+}
+
+StatsReply Client::stats() {
+  const std::uint16_t seq = next_seq_++;
+  sendbuf_.clear();
+  append_stats(sendbuf_, seq);
+  send_all(sendbuf_);
+
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  recv_frame(header, payload);
+  if (header.type != FrameType::kStatsReply || header.seq != seq)
+    throw std::runtime_error("frontend::Client: unexpected STATS reply");
+  StatsReply stats;
+  if (auto err = decode_stats_reply(payload, stats))
+    throw std::runtime_error("frontend::Client: bad STATS_REPLY: " +
+                             err->to_string());
+  return stats;
+}
+
+std::uint16_t Client::send_lookup(std::span<const serve::LookupRequest> reqs) {
+  const std::uint16_t seq = next_seq_++;
+  sendbuf_.clear();
+  append_lookup_batch(sendbuf_, seq, reqs);
+  send_all(sendbuf_);
+  return seq;
+}
+
+Client::Reply Client::recv_reply() {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  recv_frame(header, payload);
+  if (header.type != FrameType::kLookupReply)
+    throw std::runtime_error("frontend::Client: unexpected LOOKUP reply type");
+  Reply reply;
+  reply.seq = header.seq;
+  LookupReplyInfo info;
+  if (auto err = decode_lookup_reply(payload, info, reply.responses))
+    throw std::runtime_error("frontend::Client: bad LOOKUP_REPLY: " +
+                             err->to_string());
+  reply.snapshot_version = info.snapshot_version;
+  reply.fingerprint = info.fingerprint;
+  return reply;
+}
+
+Client::Reply Client::lookup(std::span<const serve::LookupRequest> reqs) {
+  const std::uint16_t seq = send_lookup(reqs);
+  Reply reply = recv_reply();
+  if (reply.seq != seq)
+    throw std::runtime_error("frontend::Client: reply seq mismatch");
+  return reply;
+}
+
+}  // namespace abrr::frontend

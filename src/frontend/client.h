@@ -1,0 +1,83 @@
+// Blocking ABRR-Q client: the reference consumer of the front-end
+// protocol, used by the loadgen bench, the integration tests, and any
+// tool that wants to query a served RIB over TCP.
+//
+// The request/reply surface mirrors serve::QueryApi — lookup() takes
+// LookupRequest spans and returns the same LookupResponse structs an
+// in-process Reader::lookup_batch fills, so equivalence is a direct
+// struct comparison. send_lookup()/recv_reply() split the round trip
+// for pipelined use (several requests in flight on one connection,
+// replies matched by seq).
+//
+// Unlike the server (which must never throw on hostile input), the
+// client throws std::runtime_error on I/O failures, timeouts, ERROR
+// frames, and protocol violations — its peer is our own server, so a
+// malformed reply is a bug, not an attack.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "frontend/proto.h"
+#include "serve/service.h"
+
+namespace abrr::frontend {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:`port`. `timeout_ms` bounds every later
+  /// receive (a wedged server surfaces as an exception, not a hang).
+  void connect(std::uint16_t port, int timeout_ms = 5000);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// One decoded LOOKUP_REPLY.
+  struct Reply {
+    std::uint16_t seq = 0;
+    std::uint64_t snapshot_version = 0;
+    std::uint64_t fingerprint = 0;
+    std::vector<serve::LookupResponse> responses;
+  };
+
+  /// HELLO handshake; returns the server's snapshot preview.
+  HelloAck hello();
+
+  /// Server + service counters.
+  StatsReply stats();
+
+  /// One synchronous round trip: send the batch, wait for its reply.
+  Reply lookup(std::span<const serve::LookupRequest> reqs);
+
+  /// Pipelined half-calls: send_lookup returns the frame's seq
+  /// immediately; recv_reply blocks for the next LOOKUP_REPLY (replies
+  /// arrive in request order — the server answers a connection's
+  /// frames sequentially).
+  std::uint16_t send_lookup(std::span<const serve::LookupRequest> reqs);
+  Reply recv_reply();
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  void send_all(const std::vector<std::uint8_t>& frame);
+  /// Blocks until one complete frame is buffered; throws on ERROR
+  /// frames (after decoding their detail), EOF, timeout, or garbage.
+  void recv_frame(FrameHeader& header, std::vector<std::uint8_t>& payload);
+
+  int fd_ = -1;
+  std::uint16_t next_seq_ = 1;
+  std::vector<std::uint8_t> sendbuf_;
+  std::vector<std::uint8_t> recvbuf_;  // unparsed reply bytes
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace abrr::frontend

@@ -1,0 +1,313 @@
+#include "frontend/proto.h"
+
+#include <cstring>
+
+namespace abrr::frontend {
+namespace {
+
+// --- big-endian primitives (src/wire idiom) ---------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return (static_cast<std::uint64_t>(get_u32(p)) << 32) | get_u32(p + 4);
+}
+
+/// Reserves the header, returning the offset where payload_len must be
+/// backpatched once the payload has been appended.
+std::size_t begin_frame(std::vector<std::uint8_t>& out, FrameType type,
+                        std::uint16_t seq) {
+  put_u32(out, kMagic);
+  put_u8(out, kProtoVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, seq);
+  const std::size_t len_at = out.size();
+  put_u32(out, 0);
+  return len_at;
+}
+
+void end_frame(std::vector<std::uint8_t>& out, std::size_t len_at) {
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(out.size() - len_at - 4);
+  out[len_at] = static_cast<std::uint8_t>(payload_len >> 24);
+  out[len_at + 1] = static_cast<std::uint8_t>(payload_len >> 16);
+  out[len_at + 2] = static_cast<std::uint8_t>(payload_len >> 8);
+  out[len_at + 3] = static_cast<std::uint8_t>(payload_len);
+}
+
+const char* code_name(ProtoErrorCode code) {
+  switch (code) {
+    case ProtoErrorCode::kBadMagic: return "bad-magic";
+    case ProtoErrorCode::kBadVersion: return "bad-version";
+    case ProtoErrorCode::kBadType: return "bad-type";
+    case ProtoErrorCode::kOversizedPayload: return "oversized-payload";
+    case ProtoErrorCode::kBadPayload: return "bad-payload";
+    case ProtoErrorCode::kOversizedBatch: return "oversized-batch";
+    case ProtoErrorCode::kUnexpectedType: return "unexpected-type";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string ProtoError::to_string() const {
+  return std::string{"proto error "} + code_name(code) + " at offset " +
+         std::to_string(offset) + ": " + detail;
+}
+
+DecodeStatus decode_frame(std::span<const std::uint8_t> in, Frame& out,
+                          std::size_t& consumed, ProtoError& err) {
+  // Validate progressively so garbage fails as soon as its first bytes
+  // arrive, not only once a whole (attacker-declared) frame buffers.
+  if (in.size() < 4) return DecodeStatus::kNeedMore;
+  if (get_u32(in.data()) != kMagic) {
+    err = ProtoError{ProtoErrorCode::kBadMagic, 0, "frame magic mismatch"};
+    return DecodeStatus::kError;
+  }
+  if (in.size() < 5) return DecodeStatus::kNeedMore;
+  if (in[4] != kProtoVersion) {
+    err = ProtoError{ProtoErrorCode::kBadVersion, 4,
+                     "unsupported protocol version"};
+    return DecodeStatus::kError;
+  }
+  if (in.size() < 6) return DecodeStatus::kNeedMore;
+  const std::uint8_t type = in[5];
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kError)) {
+    err = ProtoError{ProtoErrorCode::kBadType, 5, "unknown frame type"};
+    return DecodeStatus::kError;
+  }
+  if (in.size() < kHeaderSize) return DecodeStatus::kNeedMore;
+  const std::uint32_t payload_len = get_u32(in.data() + 8);
+  if (payload_len > kMaxPayload) {
+    err = ProtoError{ProtoErrorCode::kOversizedPayload, 8,
+                     "payload_len exceeds kMaxPayload"};
+    return DecodeStatus::kError;
+  }
+  if (in.size() < kHeaderSize + payload_len) return DecodeStatus::kNeedMore;
+  out.header.version = in[4];
+  out.header.type = static_cast<FrameType>(type);
+  out.header.seq = get_u16(in.data() + 6);
+  out.header.payload_len = payload_len;
+  out.payload = in.subspan(kHeaderSize, payload_len);
+  consumed = kHeaderSize + payload_len;
+  return DecodeStatus::kFrame;
+}
+
+std::optional<ProtoError> decode_lookup_batch(
+    std::span<const std::uint8_t> payload,
+    std::vector<serve::LookupRequest>& out) {
+  out.clear();
+  if (payload.size() < 4) {
+    return ProtoError{ProtoErrorCode::kBadPayload, 0,
+                      "LOOKUP_BATCH shorter than its count field"};
+  }
+  const std::uint32_t count = get_u32(payload.data());
+  if (count > kMaxBatch) {
+    return ProtoError{ProtoErrorCode::kOversizedBatch, 0,
+                      "batch count exceeds kMaxBatch"};
+  }
+  if (payload.size() != 4 + count * kLookupRequestSize) {
+    return ProtoError{ProtoErrorCode::kBadPayload, 4,
+                      "LOOKUP_BATCH length disagrees with count"};
+  }
+  out.reserve(count);
+  const std::uint8_t* p = payload.data() + 4;
+  for (std::uint32_t i = 0; i < count; ++i, p += kLookupRequestSize) {
+    out.push_back(serve::LookupRequest{get_u32(p), get_u32(p + 4)});
+  }
+  return std::nullopt;
+}
+
+std::optional<ProtoError> decode_lookup_reply(
+    std::span<const std::uint8_t> payload, LookupReplyInfo& info,
+    std::vector<serve::LookupResponse>& out) {
+  out.clear();
+  if (payload.size() < 20) {
+    return ProtoError{ProtoErrorCode::kBadPayload, 0,
+                      "LOOKUP_REPLY shorter than its fixed fields"};
+  }
+  info.snapshot_version = get_u64(payload.data());
+  info.fingerprint = get_u64(payload.data() + 8);
+  info.count = get_u32(payload.data() + 16);
+  if (info.count > kMaxBatch) {
+    return ProtoError{ProtoErrorCode::kOversizedBatch, 16,
+                      "reply count exceeds kMaxBatch"};
+  }
+  if (payload.size() != 20 + info.count * kLookupResponseSize) {
+    return ProtoError{ProtoErrorCode::kBadPayload, 16,
+                      "LOOKUP_REPLY length disagrees with count"};
+  }
+  out.reserve(info.count);
+  const std::uint8_t* p = payload.data() + 20;
+  for (std::uint32_t i = 0; i < info.count; ++i, p += kLookupResponseSize) {
+    serve::LookupResponse r;
+    r.hit = p[0];
+    if (r.hit > 1) {
+      return ProtoError{ProtoErrorCode::kBadPayload,
+                        20 + i * kLookupResponseSize,
+                        "hit flag is neither 0 nor 1"};
+    }
+    r.prefix_len = p[1];
+    r.prefix = get_u32(p + 2);
+    r.next_hop = get_u32(p + 6);
+    r.learned_from = get_u32(p + 10);
+    r.path_id = get_u32(p + 14);
+    r.attrs_hash = get_u64(p + 18);
+    r.snapshot_version = info.snapshot_version;
+    r.fingerprint = info.fingerprint;
+    out.push_back(r);
+  }
+  return std::nullopt;
+}
+
+std::optional<ProtoError> decode_hello_ack(
+    std::span<const std::uint8_t> payload, HelloAck& out) {
+  if (payload.size() != 24) {
+    return ProtoError{ProtoErrorCode::kBadPayload, 0,
+                      "HELLO_ACK payload must be 24 bytes"};
+  }
+  out.snapshot_version = get_u64(payload.data());
+  out.fingerprint = get_u64(payload.data() + 8);
+  out.routers = get_u32(payload.data() + 16);
+  out.prefixes = get_u32(payload.data() + 20);
+  return std::nullopt;
+}
+
+std::optional<ProtoError> decode_stats_reply(
+    std::span<const std::uint8_t> payload, StatsReply& out) {
+  if (payload.size() != 56) {
+    return ProtoError{ProtoErrorCode::kBadPayload, 0,
+                      "STATS_REPLY payload must be 56 bytes"};
+  }
+  const std::uint8_t* p = payload.data();
+  out.snapshot_version = get_u64(p);
+  out.fingerprint = get_u64(p + 8);
+  out.publishes = get_u64(p + 16);
+  out.lookups_served = get_u64(p + 24);
+  out.batches_served = get_u64(p + 32);
+  out.connections_accepted = get_u64(p + 40);
+  out.connections_dropped = get_u64(p + 48);
+  return std::nullopt;
+}
+
+std::optional<ProtoError> decode_error(std::span<const std::uint8_t> payload,
+                                       WireError& out) {
+  if (payload.size() < 4) {
+    return ProtoError{ProtoErrorCode::kBadPayload, 0,
+                      "ERROR shorter than its fixed fields"};
+  }
+  out.code = get_u16(payload.data());
+  const std::uint16_t detail_len = get_u16(payload.data() + 2);
+  if (payload.size() != 4u + detail_len) {
+    return ProtoError{ProtoErrorCode::kBadPayload, 2,
+                      "ERROR length disagrees with detail_len"};
+  }
+  out.detail.assign(reinterpret_cast<const char*>(payload.data() + 4),
+                    detail_len);
+  return std::nullopt;
+}
+
+void append_hello(std::vector<std::uint8_t>& out, std::uint16_t seq) {
+  end_frame(out, begin_frame(out, FrameType::kHello, seq));
+}
+
+void append_hello_ack(std::vector<std::uint8_t>& out, std::uint16_t seq,
+                      const HelloAck& ack) {
+  const std::size_t len_at = begin_frame(out, FrameType::kHelloAck, seq);
+  put_u64(out, ack.snapshot_version);
+  put_u64(out, ack.fingerprint);
+  put_u32(out, ack.routers);
+  put_u32(out, ack.prefixes);
+  end_frame(out, len_at);
+}
+
+void append_stats(std::vector<std::uint8_t>& out, std::uint16_t seq) {
+  end_frame(out, begin_frame(out, FrameType::kStats, seq));
+}
+
+void append_stats_reply(std::vector<std::uint8_t>& out, std::uint16_t seq,
+                        const StatsReply& stats) {
+  const std::size_t len_at = begin_frame(out, FrameType::kStatsReply, seq);
+  put_u64(out, stats.snapshot_version);
+  put_u64(out, stats.fingerprint);
+  put_u64(out, stats.publishes);
+  put_u64(out, stats.lookups_served);
+  put_u64(out, stats.batches_served);
+  put_u64(out, stats.connections_accepted);
+  put_u64(out, stats.connections_dropped);
+  end_frame(out, len_at);
+}
+
+void append_lookup_batch(std::vector<std::uint8_t>& out, std::uint16_t seq,
+                         std::span<const serve::LookupRequest> reqs) {
+  const std::size_t len_at = begin_frame(out, FrameType::kLookupBatch, seq);
+  put_u32(out, static_cast<std::uint32_t>(reqs.size()));
+  for (const serve::LookupRequest& req : reqs) {
+    put_u32(out, req.router);
+    put_u32(out, req.addr);
+  }
+  end_frame(out, len_at);
+}
+
+void append_lookup_reply(std::vector<std::uint8_t>& out, std::uint16_t seq,
+                         std::uint64_t snapshot_version,
+                         std::uint64_t fingerprint,
+                         std::span<const serve::LookupResponse> resps) {
+  const std::size_t len_at = begin_frame(out, FrameType::kLookupReply, seq);
+  put_u64(out, snapshot_version);
+  put_u64(out, fingerprint);
+  put_u32(out, static_cast<std::uint32_t>(resps.size()));
+  for (const serve::LookupResponse& r : resps) {
+    put_u8(out, r.hit);
+    put_u8(out, r.prefix_len);
+    put_u32(out, r.prefix);
+    put_u32(out, r.next_hop);
+    put_u32(out, r.learned_from);
+    put_u32(out, r.path_id);
+    put_u64(out, r.attrs_hash);
+  }
+  end_frame(out, len_at);
+}
+
+void append_error(std::vector<std::uint8_t>& out, std::uint16_t seq,
+                  ProtoErrorCode code, const char* detail) {
+  const std::size_t len_at = begin_frame(out, FrameType::kError, seq);
+  const std::size_t detail_len = std::strlen(detail);
+  put_u16(out, static_cast<std::uint16_t>(code));
+  put_u16(out, static_cast<std::uint16_t>(detail_len));
+  out.insert(out.end(), detail, detail + detail_len);
+  end_frame(out, len_at);
+}
+
+}  // namespace abrr::frontend

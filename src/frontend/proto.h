@@ -1,0 +1,196 @@
+// ABRR-Q: the versioned, length-prefixed binary protocol the TCP
+// front-end speaks (DESIGN.md §15).
+//
+// Every frame is a 12-byte header followed by `payload_len` bytes:
+//
+//   0      4       5      6        8             12
+//   | magic | version | type | seq    | payload_len | payload...
+//   (u32BE)   (u8)      (u8)   (u16BE)  (u32BE)
+//
+// seq is chosen by the requester and echoed verbatim in the reply, so
+// clients can pipeline requests and match replies without per-frame
+// state on the server. All integers are big-endian (network order,
+// matching src/wire). Frame types:
+//
+//   HELLO        -> HELLO_ACK     session handshake, snapshot preview
+//   STATS        -> STATS_REPLY   service + server counters
+//   LOOKUP_BATCH -> LOOKUP_REPLY  the serving query path
+//   ERROR                         server->client, then the connection
+//                                 is closed (fatal by definition)
+//
+// The decoder is bounds-checked in the src/wire style: it never reads
+// past its span, never throws, and returns structured (code, offset,
+// detail) errors for malformed input — it is the surface a hostile
+// client hits, and tests/frontend/proto_test.cpp drives it with the
+// corpus-mutation fallback fuzzer pattern from tests/wire.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace abrr::frontend {
+
+// --- framing constants ------------------------------------------------
+
+inline constexpr std::uint32_t kMagic = 0x41425251u;  // "ABRQ"
+inline constexpr std::uint8_t kProtoVersion = 1;
+inline constexpr std::size_t kHeaderSize = 12;
+/// Upper bound on payload_len: anything larger is rejected before
+/// buffering, so a hostile header cannot make the server allocate.
+inline constexpr std::size_t kMaxPayload = 1u << 20;
+/// Lookups per LOOKUP_BATCH frame (also keeps replies under
+/// kMaxPayload: kMaxBatch * kLookupResponseSize + 20 < 1 MiB).
+inline constexpr std::size_t kMaxBatch = 16384;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kStats = 3,
+  kStatsReply = 4,
+  kLookupBatch = 5,
+  kLookupReply = 6,
+  kError = 7,
+};
+
+/// Wire sizes of the typed payload units (fixed-width encodings).
+inline constexpr std::size_t kLookupRequestSize = 8;    // router + addr
+inline constexpr std::size_t kLookupResponseSize = 26;  // flattened hit
+
+// --- structured decode errors ----------------------------------------
+
+enum class ProtoErrorCode : std::uint16_t {
+  kBadMagic = 1,
+  kBadVersion = 2,
+  kBadType = 3,
+  kOversizedPayload = 4,
+  kBadPayload = 5,      // typed payload malformed (length/trailing bytes)
+  kOversizedBatch = 6,  // LOOKUP_BATCH count > kMaxBatch
+  kUnexpectedType = 7,  // e.g. client sent a reply-only frame type
+};
+
+/// One structured parse failure: never an exception, never a crash.
+struct ProtoError {
+  ProtoErrorCode code = ProtoErrorCode::kBadMagic;
+  std::size_t offset = 0;   // byte offset into the decoded buffer
+  const char* detail = "";  // static human-readable context
+
+  std::string to_string() const;
+};
+
+/// decode_frame outcome: a stream decoder needs three-way results —
+/// a complete frame, "buffer more bytes", or a fatal framing error.
+enum class DecodeStatus : std::uint8_t {
+  kFrame = 0,
+  kNeedMore = 1,
+  kError = 2,
+};
+
+struct FrameHeader {
+  std::uint8_t version = kProtoVersion;
+  FrameType type = FrameType::kHello;
+  std::uint16_t seq = 0;
+  std::uint32_t payload_len = 0;
+};
+
+/// One decoded frame; `payload` aliases the input span.
+struct Frame {
+  FrameHeader header;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Decodes the frame at the front of `in`. kFrame: `out` is filled and
+/// `consumed` is the frame's total length. kNeedMore: the buffer holds
+/// a valid-so-far prefix (magic/version/type already validated when
+/// present). kError: `err` is filled; the connection is unrecoverable
+/// (framing is lost). Never throws, never reads past `in`.
+DecodeStatus decode_frame(std::span<const std::uint8_t> in, Frame& out,
+                          std::size_t& consumed, ProtoError& err);
+
+// --- typed payloads ---------------------------------------------------
+
+/// HELLO_ACK: what a client learns at connect time.
+struct HelloAck {
+  std::uint64_t snapshot_version = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint32_t routers = 0;   // servable router ids
+  std::uint32_t prefixes = 0;  // LPM universe size
+
+  friend bool operator==(const HelloAck&, const HelloAck&) = default;
+};
+
+/// STATS_REPLY: service + front-end counters, point-in-time.
+struct StatsReply {
+  std::uint64_t snapshot_version = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t lookups_served = 0;
+  std::uint64_t batches_served = 0;
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_dropped = 0;
+
+  friend bool operator==(const StatsReply&, const StatsReply&) = default;
+};
+
+/// ERROR payload: code + static detail string.
+struct WireError {
+  std::uint16_t code = 0;
+  std::string detail;
+
+  friend bool operator==(const WireError&, const WireError&) = default;
+};
+
+/// LOOKUP_REPLY header fields (before the response array).
+struct LookupReplyInfo {
+  std::uint64_t snapshot_version = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint32_t count = 0;
+};
+
+// Payload decoders: `payload` is exactly one frame's payload span (from
+// decode_frame). They clear/overwrite `out`, reject trailing bytes, and
+// never throw.
+std::optional<ProtoError> decode_lookup_batch(
+    std::span<const std::uint8_t> payload,
+    std::vector<serve::LookupRequest>& out);
+std::optional<ProtoError> decode_lookup_reply(
+    std::span<const std::uint8_t> payload, LookupReplyInfo& info,
+    std::vector<serve::LookupResponse>& out);
+std::optional<ProtoError> decode_hello_ack(
+    std::span<const std::uint8_t> payload, HelloAck& out);
+std::optional<ProtoError> decode_stats_reply(
+    std::span<const std::uint8_t> payload, StatsReply& out);
+std::optional<ProtoError> decode_error(std::span<const std::uint8_t> payload,
+                                       WireError& out);
+
+// Encoders append one complete frame (header + payload) to `out`.
+// Encoding is infallible for in-contract inputs; append_lookup_batch
+// and append_lookup_reply require size() <= kMaxBatch.
+void append_hello(std::vector<std::uint8_t>& out, std::uint16_t seq);
+void append_hello_ack(std::vector<std::uint8_t>& out, std::uint16_t seq,
+                      const HelloAck& ack);
+void append_stats(std::vector<std::uint8_t>& out, std::uint16_t seq);
+void append_stats_reply(std::vector<std::uint8_t>& out, std::uint16_t seq,
+                        const StatsReply& stats);
+void append_lookup_batch(std::vector<std::uint8_t>& out, std::uint16_t seq,
+                         std::span<const serve::LookupRequest> reqs);
+void append_lookup_reply(std::vector<std::uint8_t>& out, std::uint16_t seq,
+                         std::uint64_t snapshot_version,
+                         std::uint64_t fingerprint,
+                         std::span<const serve::LookupResponse> resps);
+void append_error(std::vector<std::uint8_t>& out, std::uint16_t seq,
+                  ProtoErrorCode code, const char* detail);
+
+/// Exact frame length append_lookup_reply would emit for `count`
+/// responses — the server's backpressure check sizes its outbox with
+/// this before answering.
+inline constexpr std::size_t lookup_reply_frame_size(std::size_t count) {
+  return kHeaderSize + 20 + count * kLookupResponseSize;
+}
+
+}  // namespace abrr::frontend

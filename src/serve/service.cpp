@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <ctime>
 #include <functional>
@@ -425,6 +426,47 @@ RouteService::Reader::~Reader() {
   service_->total_lookups_.fetch_add(lookups_, std::memory_order_relaxed);
 }
 
+BatchResult RouteService::Reader::lookup_batch(
+    std::span<const LookupRequest> reqs, std::span<LookupResponse> resps) {
+  assert(resps.size() >= reqs.size());
+  BatchResult out;
+  const std::uint64_t t_begin = now_ns();
+  {
+    PinGuard pin{*this};
+    const RibSnapshot* snap = pin.get();
+    if (snap == nullptr) {
+      // Nothing published yet (a front-end client can query before the
+      // writer's first publish): every request misses at version 0.
+      for (std::size_t i = 0; i < reqs.size(); ++i) resps[i] = LookupResponse{};
+      return out;
+    }
+    out.snapshot_version = snap->version;
+    out.fingerprint = snap->fingerprint;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      LookupResponse& r = resps[i];
+      r = LookupResponse{};
+      r.snapshot_version = snap->version;
+      r.fingerprint = snap->fingerprint;
+      if (const auto hit = snap->lookup(reqs[i].router, reqs[i].addr)) {
+        r.attrs_hash = hit->entry->attrs_hash;
+        r.prefix = hit->prefix.address();
+        r.prefix_len = hit->prefix.length();
+        r.next_hop = hit->entry->next_hop;
+        r.learned_from = hit->entry->learned_from;
+        r.path_id = hit->entry->path_id;
+        r.hit = 1;
+        ++out.hits;
+      }
+    }
+  }
+  if (!reqs.empty()) {
+    record(static_cast<double>(now_ns() - t_begin) /
+               static_cast<double>(reqs.size()),
+           reqs.size());
+  }
+  return out;
+}
+
 std::uint64_t batch_fingerprint_at(const runner::ScenarioSpec& spec0,
                                    std::uint64_t seed, sim::Time at) {
   runner::ScenarioSpec spec = spec0;
@@ -467,36 +509,36 @@ ServeReport run_serve_trial(const runner::ScenarioSpec& spec,
   for (std::size_t r = 0; r < opt.readers; ++r) {
     threads.emplace_back([&service, &readers_stop, &opt, r] {
       RouteService::Reader reader{service};
+      // The probe universe (LPM index, router list) is shared across
+      // every snapshot of a service, so requests are generated outside
+      // the pin; one initial guard fetches the stable views.
+      std::shared_ptr<const bgp::LpmIndex> index;
+      std::vector<bgp::RouterId> routers;
+      {
+        const RouteService::Reader::PinGuard pin{reader};
+        index = pin->index;
+        routers = pin->router_ids;
+      }
       // Deterministic probe walk biased to HIT: pick a universe prefix
       // by slot and scatter within its host bits (micro_bench idiom).
       std::uint32_t probe =
           0x9e3779b9u * (static_cast<std::uint32_t>(r) + 1) + 1;
       std::size_t router_i = r;
+      std::vector<LookupRequest> reqs(opt.lookup_batch);
+      std::vector<LookupResponse> resps(opt.lookup_batch);
       // do-while: even if the writer finished its whole horizon before
       // this thread got scheduled (1-CPU hosts), every reader performs
       // at least one batch against the final snapshot.
       do {
-        const RibSnapshot* snap = reader.pin();
-        const bgp::LpmIndex& index = *snap->index;
-        const bgp::RouterId router =
-            snap->router_ids[router_i % snap->router_ids.size()];
-        const std::uint64_t t_begin = now_ns();
-        std::uint64_t found = 0;
-        for (std::size_t i = 0; i < opt.lookup_batch; ++i) {
+        const bgp::RouterId router = routers[router_i % routers.size()];
+        for (LookupRequest& req : reqs) {
           probe = probe * 2654435761u + 12345;
-          const bgp::Ipv4Prefix& p = index.prefix_at(probe % index.size());
-          const bgp::Ipv4Addr addr =
-              p.first() | (probe & (p.last() - p.first()));
-          found += snap->lookup(router, addr).has_value();
+          const bgp::Ipv4Prefix& p = index->prefix_at(probe % index->size());
+          req.router = router;
+          req.addr = p.first() | (probe & (p.last() - p.first()));
         }
-        const std::uint64_t t_end = now_ns();
-        reader.unpin();
+        reader.lookup_batch(reqs, resps);
         ++router_i;
-        reader.latency_hist().record(
-            static_cast<double>(t_end - t_begin) /
-            static_cast<double>(opt.lookup_batch));
-        reader.lookups() += opt.lookup_batch;
-        (void)found;
       } while (!readers_stop.load(std::memory_order_acquire));
     });
   }

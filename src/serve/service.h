@@ -26,7 +26,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
-#include <optional>
+#include <span>
 #include <string>
 #include <thread>
 
@@ -36,6 +36,52 @@
 #include "serve/snapshot.h"
 
 namespace abrr::serve {
+
+// --- the serving query contract (QueryApi) ------------------------------
+//
+// LookupRequest/LookupResponse are the transport-agnostic unit of the
+// read path: in-process callers hand spans of them to
+// Reader::lookup_batch, and the TCP front-end (src/frontend) carries
+// the same structs as wire frames. A batch is answered under ONE epoch
+// pin, so every response in it comes from the same snapshot.
+
+/// One serving query: "what route does `router` use for `addr`?".
+struct LookupRequest {
+  bgp::RouterId router = bgp::kNoRouter;
+  bgp::Ipv4Addr addr = 0;
+
+  friend bool operator==(const LookupRequest&, const LookupRequest&) =
+      default;
+};
+
+/// One flattened answer. Value semantics on purpose: unlike
+/// RibSnapshot::Hit there is no pointer into the snapshot, so a
+/// response stays valid after the pin is released (and can be put on a
+/// wire verbatim). snapshot_version/fingerprint identify the snapshot
+/// that answered — equal versions mean bit-identical RIB state, which
+/// is what the socket-vs-in-process equivalence tests compare.
+struct LookupResponse {
+  std::uint64_t attrs_hash = 0;
+  std::uint64_t snapshot_version = 0;
+  std::uint64_t fingerprint = 0;
+  bgp::Ipv4Addr prefix = 0;  // matched prefix (valid when hit == 1)
+  bgp::Ipv4Addr next_hop = 0;
+  bgp::RouterId learned_from = bgp::kNoRouter;
+  bgp::PathId path_id = 0;
+  std::uint8_t prefix_len = 0;
+  std::uint8_t hit = 0;
+
+  friend bool operator==(const LookupResponse&, const LookupResponse&) =
+      default;
+};
+
+/// What one lookup_batch call answered with (all responses in the
+/// batch carry this same version/fingerprint).
+struct BatchResult {
+  std::uint64_t snapshot_version = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t hits = 0;
+};
 
 /// Writer + reclamation telemetry, readable from any thread.
 struct ServiceStats {
@@ -97,6 +143,11 @@ class RouteService {
   /// Per-reader-thread handle: one epoch slot plus a thread-local
   /// lookup-latency histogram (the registry is writer-confined, so
   /// readers record locally; the service merges on Reader destruction).
+  ///
+  /// The read contract is lookup_batch(): requests in, flattened
+  /// responses out, one epoch pin per batch. Raw pin()/unpin() no
+  /// longer exist — callers that need to hold a snapshot across their
+  /// own logic (rather than a query batch) take a PinGuard.
   class Reader {
    public:
     explicit Reader(RouteService& service);
@@ -104,30 +155,71 @@ class RouteService {
     Reader(const Reader&) = delete;
     Reader& operator=(const Reader&) = delete;
 
-    /// Pins the epoch and returns the live snapshot; the pointer is
-    /// valid until unpin(). Never nullptr after a successful start().
-    const RibSnapshot* pin() {
-      service_->epochs_.pin(slot_);
-      return service_->live_.load(std::memory_order_acquire);
-    }
-    void unpin() { service_->epochs_.unpin(slot_); }
+    /// RAII epoch pin: holds the live snapshot for its whole lifetime.
+    /// The snapshot pointer is only nullptr before a successful
+    /// start(). Keep the scope tight — a long-lived guard pins retired
+    /// snapshots in memory and eventually defers the writer.
+    class PinGuard {
+     public:
+      explicit PinGuard(Reader& reader) : reader_(&reader) {
+        reader.service_->epochs_.pin(reader.slot_);
+        snap_ = reader.service_->live_.load(std::memory_order_acquire);
+      }
+      ~PinGuard() { reader_->service_->epochs_.unpin(reader_->slot_); }
+      PinGuard(const PinGuard&) = delete;
+      PinGuard& operator=(const PinGuard&) = delete;
 
-    /// One pinned query; convenience over pin()/unpin() for callers
-    /// that don't batch.
-    std::optional<RibSnapshot::Hit> lookup(bgp::RouterId router,
-                                           bgp::Ipv4Addr addr) {
-      const RibSnapshot* snap = pin();
-      auto hit = snap->lookup(router, addr);
-      unpin();
-      return hit;
+      const RibSnapshot* get() const { return snap_; }
+      const RibSnapshot* operator->() const { return snap_; }
+      const RibSnapshot& operator*() const { return *snap_; }
+      explicit operator bool() const { return snap_ != nullptr; }
+
+     private:
+      Reader* reader_;
+      const RibSnapshot* snap_;
+    };
+
+    /// Pins the epoch for the guard's scope (guaranteed copy elision:
+    /// the guard is constructed in place at the caller).
+    PinGuard pin() { return PinGuard{*this}; }
+
+    /// Answers reqs[i] into resps[i] under a single epoch pin, so the
+    /// whole batch reflects ONE snapshot. Requires
+    /// resps.size() >= reqs.size(). Records the batch's mean per-lookup
+    /// latency into this reader's histogram (one sample per batch; see
+    /// EXPERIMENTS.md on batch-wise tails). Total: before the first
+    /// publish every request misses at snapshot_version 0 (the TCP
+    /// front-end exposes this path to clients).
+    BatchResult lookup_batch(std::span<const LookupRequest> reqs,
+                             std::span<LookupResponse> resps);
+
+    /// One query; convenience over lookup_batch for callers that don't
+    /// batch (a batch of one).
+    LookupResponse lookup(bgp::RouterId router, bgp::Ipv4Addr addr) {
+      const LookupRequest req{router, addr};
+      LookupResponse resp;
+      lookup_batch({&req, 1}, {&resp, 1});
+      return resp;
+    }
+
+    /// Folds one timing sample (mean ns per lookup over `lookups`
+    /// queries) into this reader's telemetry. lookup_batch calls this
+    /// itself; it is public for harnesses that time at a coarser grain.
+    /// Count and histogram move together — there is no way to desync
+    /// them.
+    void record(double ns_per_lookup, std::uint64_t lookups) {
+      latency_.record(ns_per_lookup);
+      lookups_ += lookups;
     }
 
     /// Thread-local latency samples (ns per lookup); merged into the
     /// service aggregate when the Reader is destroyed.
-    obs::Histogram& latency_hist() { return latency_; }
-    std::uint64_t& lookups() { return lookups_; }
+    const obs::Histogram& latency_hist() const { return latency_; }
+    std::uint64_t lookups() const { return lookups_; }
 
    private:
+    friend class PinGuard;
+
     RouteService* service_;
     std::size_t slot_;
     obs::Histogram latency_;

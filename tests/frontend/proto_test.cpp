@@ -1,0 +1,449 @@
+// ABRR-Q codec contract tests: every frame type round-trips exactly;
+// truncated buffers report kNeedMore (a stream decoder must never
+// confuse "short read" with "garbage"); malformed headers and typed
+// payloads fail with the right structured error; and a deterministic
+// corpus-mutation loop (the tests/wire fallback-fuzzer pattern) checks
+// the never-crash contract on hostile byte soup.
+#include "frontend/proto.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace abrr::frontend {
+namespace {
+
+std::vector<serve::LookupRequest> sample_requests(std::size_t n) {
+  std::vector<serve::LookupRequest> reqs;
+  std::uint32_t probe = 0x9e3779b9u;
+  for (std::size_t i = 0; i < n; ++i) {
+    probe = probe * 2654435761u + 12345;
+    reqs.push_back(serve::LookupRequest{probe % 64, probe ^ 0x0A000000u});
+  }
+  return reqs;
+}
+
+std::vector<serve::LookupResponse> sample_responses(std::size_t n,
+                                                    std::uint64_t version,
+                                                    std::uint64_t fp) {
+  std::vector<serve::LookupResponse> resps;
+  std::uint32_t probe = 0xdeadbeefu;
+  for (std::size_t i = 0; i < n; ++i) {
+    probe = probe * 2654435761u + 12345;
+    serve::LookupResponse r;
+    r.snapshot_version = version;
+    r.fingerprint = fp;
+    r.hit = static_cast<std::uint8_t>(i % 2);
+    if (r.hit) {
+      r.attrs_hash = (static_cast<std::uint64_t>(probe) << 32) | i;
+      r.prefix = probe & 0xFFFFFF00u;
+      r.prefix_len = static_cast<std::uint8_t>(8 + probe % 25);
+      r.next_hop = probe ^ 0xC0A80000u;
+      r.learned_from = probe % 48;
+      r.path_id = probe % 7;
+    }
+    resps.push_back(r);
+  }
+  return resps;
+}
+
+/// Decodes exactly one frame from `buf`, asserting success.
+Frame must_decode(const std::vector<std::uint8_t>& buf,
+                  std::size_t* consumed_out = nullptr) {
+  Frame frame;
+  std::size_t consumed = 0;
+  ProtoError err;
+  const DecodeStatus st = decode_frame(buf, frame, consumed, err);
+  EXPECT_EQ(st, DecodeStatus::kFrame) << err.to_string();
+  EXPECT_EQ(consumed, kHeaderSize + frame.header.payload_len);
+  if (consumed_out != nullptr) *consumed_out = consumed;
+  return frame;
+}
+
+TEST(Proto, HelloRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  append_hello(buf, 42);
+  const Frame frame = must_decode(buf);
+  EXPECT_EQ(frame.header.type, FrameType::kHello);
+  EXPECT_EQ(frame.header.seq, 42u);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(Proto, HelloAckRoundTrip) {
+  const HelloAck ack{0x1122334455667788ull, 0xA5A5A5A5'5A5A5A5Aull, 48, 4096};
+  std::vector<std::uint8_t> buf;
+  append_hello_ack(buf, 7, ack);
+  const Frame frame = must_decode(buf);
+  ASSERT_EQ(frame.header.type, FrameType::kHelloAck);
+  HelloAck got;
+  ASSERT_FALSE(decode_hello_ack(frame.payload, got));
+  EXPECT_EQ(got, ack);
+}
+
+TEST(Proto, StatsRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  append_stats(buf, 3);
+  Frame frame = must_decode(buf);
+  EXPECT_EQ(frame.header.type, FrameType::kStats);
+  EXPECT_TRUE(frame.payload.empty());
+
+  const StatsReply stats{9, 0xFEEDull, 12, 100000, 625, 17, 2};
+  buf.clear();
+  append_stats_reply(buf, 3, stats);
+  frame = must_decode(buf);
+  ASSERT_EQ(frame.header.type, FrameType::kStatsReply);
+  StatsReply got;
+  ASSERT_FALSE(decode_stats_reply(frame.payload, got));
+  EXPECT_EQ(got, stats);
+}
+
+TEST(Proto, LookupBatchRoundTrip) {
+  const auto reqs = sample_requests(257);
+  std::vector<std::uint8_t> buf;
+  append_lookup_batch(buf, 999, reqs);
+  const Frame frame = must_decode(buf);
+  ASSERT_EQ(frame.header.type, FrameType::kLookupBatch);
+  EXPECT_EQ(frame.header.seq, 999u);
+  std::vector<serve::LookupRequest> got;
+  ASSERT_FALSE(decode_lookup_batch(frame.payload, got));
+  EXPECT_EQ(got, reqs);
+}
+
+TEST(Proto, LookupReplyRoundTripIncludingMisses) {
+  constexpr std::uint64_t kVersion = 31;
+  constexpr std::uint64_t kFp = 0x0123456789ABCDEFull;
+  const auto resps = sample_responses(64, kVersion, kFp);
+  std::vector<std::uint8_t> buf;
+  append_lookup_reply(buf, 5, kVersion, kFp, resps);
+  EXPECT_EQ(buf.size(), lookup_reply_frame_size(resps.size()));
+  const Frame frame = must_decode(buf);
+  ASSERT_EQ(frame.header.type, FrameType::kLookupReply);
+  LookupReplyInfo info;
+  std::vector<serve::LookupResponse> got;
+  ASSERT_FALSE(decode_lookup_reply(frame.payload, info, got));
+  EXPECT_EQ(info.snapshot_version, kVersion);
+  EXPECT_EQ(info.fingerprint, kFp);
+  EXPECT_EQ(info.count, resps.size());
+  // Byte-identical round trip: the wire encoding re-expands the frame's
+  // version/fingerprint into every response, misses included, so
+  // operator== against the in-process responses holds.
+  EXPECT_EQ(got, resps);
+}
+
+TEST(Proto, ErrorRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  append_error(buf, 11, ProtoErrorCode::kOversizedBatch, "count 99999");
+  const Frame frame = must_decode(buf);
+  ASSERT_EQ(frame.header.type, FrameType::kError);
+  WireError got;
+  ASSERT_FALSE(decode_error(frame.payload, got));
+  EXPECT_EQ(got.code,
+            static_cast<std::uint16_t>(ProtoErrorCode::kOversizedBatch));
+  EXPECT_EQ(got.detail, "count 99999");
+}
+
+TEST(Proto, TruncatedPrefixesNeedMoreAtEveryLength) {
+  std::vector<std::uint8_t> buf;
+  append_lookup_batch(buf, 1, sample_requests(3));
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    Frame frame;
+    std::size_t consumed = 0;
+    ProtoError err;
+    const std::span<const std::uint8_t> prefix{buf.data(), len};
+    EXPECT_EQ(decode_frame(prefix, frame, consumed, err),
+              DecodeStatus::kNeedMore)
+        << "prefix length " << len;
+  }
+  // The full buffer then parses, consuming everything.
+  std::size_t consumed = 0;
+  must_decode(buf, &consumed);
+  EXPECT_EQ(consumed, buf.size());
+}
+
+TEST(Proto, RejectsBadHeaderFields) {
+  std::vector<std::uint8_t> good;
+  append_hello(good, 1);
+
+  {  // bad magic fails as soon as 4 bytes are present
+    auto buf = good;
+    buf[0] ^= 0x80;
+    Frame frame;
+    std::size_t consumed = 0;
+    ProtoError err;
+    EXPECT_EQ(decode_frame(std::span{buf.data(), 4u}, frame, consumed, err),
+              DecodeStatus::kError);
+    EXPECT_EQ(err.code, ProtoErrorCode::kBadMagic);
+  }
+  {  // wrong version
+    auto buf = good;
+    buf[4] = kProtoVersion + 1;
+    Frame frame;
+    std::size_t consumed = 0;
+    ProtoError err;
+    EXPECT_EQ(decode_frame(buf, frame, consumed, err), DecodeStatus::kError);
+    EXPECT_EQ(err.code, ProtoErrorCode::kBadVersion);
+  }
+  {  // unknown frame type
+    auto buf = good;
+    buf[5] = 0x7F;
+    Frame frame;
+    std::size_t consumed = 0;
+    ProtoError err;
+    EXPECT_EQ(decode_frame(buf, frame, consumed, err), DecodeStatus::kError);
+    EXPECT_EQ(err.code, ProtoErrorCode::kBadType);
+  }
+  {  // payload_len over kMaxPayload is rejected from the header alone —
+     // no buffering of an attacker-sized body
+    auto buf = good;
+    buf[8] = 0xFF;
+    buf[9] = 0xFF;
+    buf[10] = 0xFF;
+    buf[11] = 0xFF;
+    Frame frame;
+    std::size_t consumed = 0;
+    ProtoError err;
+    EXPECT_EQ(decode_frame(std::span{buf.data(), kHeaderSize}, frame,
+                           consumed, err),
+              DecodeStatus::kError);
+    EXPECT_EQ(err.code, ProtoErrorCode::kOversizedPayload);
+  }
+}
+
+TEST(Proto, RejectsMalformedTypedPayloads) {
+  {  // lookup batch: truncated request array
+    std::vector<std::uint8_t> buf;
+    append_lookup_batch(buf, 1, sample_requests(4));
+    const Frame frame = must_decode(buf);
+    std::vector<serve::LookupRequest> out;
+    const auto err =
+        decode_lookup_batch(frame.payload.subspan(0, frame.payload.size() - 3),
+                            out);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->code, ProtoErrorCode::kBadPayload);
+  }
+  {  // lookup batch: count field exceeding kMaxBatch
+    std::vector<std::uint8_t> payload(4 + 8, 0);
+    payload[0] = 0xFF;
+    payload[1] = 0xFF;
+    std::vector<serve::LookupRequest> out;
+    const auto err = decode_lookup_batch(payload, out);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->code, ProtoErrorCode::kOversizedBatch);
+  }
+  {  // lookup reply: trailing bytes after the response array
+    const auto resps = sample_responses(2, 1, 2);
+    std::vector<std::uint8_t> buf;
+    append_lookup_reply(buf, 1, 1, 2, resps);
+    buf.push_back(0);  // grow payload without fixing payload_len: header
+    buf[11] += 1;      // says one extra byte -> typed decoder must reject
+    const Frame frame = must_decode(buf);
+    LookupReplyInfo info;
+    std::vector<serve::LookupResponse> out;
+    const auto err = decode_lookup_reply(frame.payload, info, out);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->code, ProtoErrorCode::kBadPayload);
+  }
+  {  // lookup reply: hit byte must be 0 or 1
+    const auto resps = sample_responses(1, 1, 2);
+    std::vector<std::uint8_t> buf;
+    append_lookup_reply(buf, 1, 1, 2, resps);
+    buf[kHeaderSize + 20] = 2;  // hit is the first byte of each entry
+    const Frame frame = must_decode(buf);
+    LookupReplyInfo info;
+    std::vector<serve::LookupResponse> out;
+    const auto err = decode_lookup_reply(frame.payload, info, out);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->code, ProtoErrorCode::kBadPayload);
+  }
+  {  // hello ack: wrong fixed size
+    std::vector<std::uint8_t> payload(23, 0);
+    HelloAck out;
+    const auto err = decode_hello_ack(payload, out);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->code, ProtoErrorCode::kBadPayload);
+  }
+  {  // error frame: detail length pointing past the payload
+    std::vector<std::uint8_t> payload{0, 1, 0xFF, 0xFF, 'x'};
+    WireError out;
+    const auto err = decode_error(payload, out);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->code, ProtoErrorCode::kBadPayload);
+  }
+}
+
+TEST(Proto, StreamDecodesPipelinedFrames) {
+  // Several frames back to back in one buffer, as a pipelining client
+  // produces: the decoder must peel them off one by one.
+  std::vector<std::uint8_t> buf;
+  append_hello(buf, 1);
+  append_lookup_batch(buf, 2, sample_requests(8));
+  append_stats(buf, 3);
+  std::size_t offset = 0;
+  std::vector<std::uint16_t> seqs;
+  while (offset < buf.size()) {
+    Frame frame;
+    std::size_t consumed = 0;
+    ProtoError err;
+    const std::span<const std::uint8_t> rest{buf.data() + offset,
+                                             buf.size() - offset};
+    ASSERT_EQ(decode_frame(rest, frame, consumed, err), DecodeStatus::kFrame);
+    seqs.push_back(frame.header.seq);
+    offset += consumed;
+  }
+  EXPECT_EQ(seqs, (std::vector<std::uint16_t>{1, 2, 3}));
+}
+
+/// The fallback-fuzzer harness from tests/wire, pointed at the ABRR-Q
+/// decoder: feed mutated corpus bytes through the same loop the server
+/// runs (frame decode + typed dispatch) and rely on ASan/UBSan presets
+/// to catch any out-of-bounds read. Structured errors must format.
+void fuzz_one(std::span<const std::uint8_t> in) {
+  std::size_t offset = 0;
+  std::vector<serve::LookupRequest> reqs;
+  std::vector<serve::LookupResponse> resps;
+  for (;;) {
+    Frame frame;
+    std::size_t consumed = 0;
+    ProtoError err;
+    const std::span<const std::uint8_t> rest = in.subspan(offset);
+    const DecodeStatus st = decode_frame(rest, frame, consumed, err);
+    if (st == DecodeStatus::kNeedMore) break;
+    if (st == DecodeStatus::kError) {
+      if (err.to_string().empty()) __builtin_trap();
+      if (err.offset > rest.size()) __builtin_trap();
+      break;
+    }
+    if (consumed < kHeaderSize || consumed > rest.size()) {
+      __builtin_trap();  // decoder claimed bytes it never had
+    }
+    switch (frame.header.type) {
+      case FrameType::kLookupBatch:
+        (void)decode_lookup_batch(frame.payload, reqs);
+        break;
+      case FrameType::kLookupReply: {
+        LookupReplyInfo info;
+        (void)decode_lookup_reply(frame.payload, info, resps);
+        break;
+      }
+      case FrameType::kHelloAck: {
+        HelloAck ack;
+        (void)decode_hello_ack(frame.payload, ack);
+        break;
+      }
+      case FrameType::kStatsReply: {
+        StatsReply stats;
+        (void)decode_stats_reply(frame.payload, stats);
+        break;
+      }
+      case FrameType::kError: {
+        WireError werr;
+        (void)decode_error(frame.payload, werr);
+        break;
+      }
+      default:
+        break;
+    }
+    offset += consumed;
+  }
+}
+
+TEST(Proto, MutationFuzzNeverCrashes) {
+  // Seed corpus: one valid frame of every type plus a pipelined train.
+  std::vector<std::vector<std::uint8_t>> corpus;
+  {
+    std::vector<std::uint8_t> b;
+    append_hello(b, 1);
+    corpus.push_back(b);
+  }
+  {
+    std::vector<std::uint8_t> b;
+    append_hello_ack(b, 1, HelloAck{5, 0xFEED, 48, 4096});
+    corpus.push_back(b);
+  }
+  {
+    std::vector<std::uint8_t> b;
+    append_stats(b, 2);
+    append_stats_reply(b, 2, StatsReply{5, 0xFEED, 9, 1000, 40, 3, 1});
+    corpus.push_back(b);
+  }
+  {
+    std::vector<std::uint8_t> b;
+    append_lookup_batch(b, 3, sample_requests(16));
+    corpus.push_back(b);
+  }
+  {
+    std::vector<std::uint8_t> b;
+    append_lookup_reply(b, 3, 5, 0xFEED, sample_responses(16, 5, 0xFEED));
+    corpus.push_back(b);
+  }
+  {
+    std::vector<std::uint8_t> b;
+    append_error(b, 4, ProtoErrorCode::kBadPayload, "fuzz seed");
+    corpus.push_back(b);
+  }
+
+  // Seeds themselves must survive.
+  for (const auto& s : corpus) fuzz_one(s);
+
+  std::mt19937_64 rng{0x5eed5eedull};
+  const auto pick = [&rng](std::size_t n) {
+    return static_cast<std::size_t>(rng() % n);
+  };
+  constexpr std::size_t kIterations = 20000;
+  for (std::size_t iter = 0; iter < kIterations; ++iter) {
+    std::vector<std::uint8_t> v = corpus[pick(corpus.size())];
+    const int ops = 1 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < ops; ++i) {
+      if (v.empty()) v.push_back(static_cast<std::uint8_t>(rng()));
+      switch (rng() % 8) {
+        case 0:  // flip a byte
+          v[pick(v.size())] = static_cast<std::uint8_t>(rng());
+          break;
+        case 1:  // flip one bit
+          v[pick(v.size())] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+          break;
+        case 2:  // truncate
+          v.resize(pick(v.size() + 1));
+          break;
+        case 3:  // insert a random byte
+          v.insert(v.begin() + static_cast<std::ptrdiff_t>(pick(v.size() + 1)),
+                   static_cast<std::uint8_t>(rng()));
+          break;
+        case 4:  // erase a byte
+          v.erase(v.begin() + static_cast<std::ptrdiff_t>(pick(v.size())));
+          break;
+        case 5:  // corrupt the payload_len field
+          if (v.size() >= kHeaderSize) {
+            v[8] = static_cast<std::uint8_t>(rng());
+            v[9] = static_cast<std::uint8_t>(rng());
+            v[10] = static_cast<std::uint8_t>(rng());
+            v[11] = static_cast<std::uint8_t>(rng());
+          }
+          break;
+        case 6: {  // splice another seed's tail onto our head
+          const auto& other = corpus[pick(corpus.size())];
+          if (!other.empty()) {
+            const std::size_t cut = pick(other.size());
+            v.insert(v.end(),
+                     other.begin() + static_cast<std::ptrdiff_t>(cut),
+                     other.end());
+          }
+          break;
+        }
+        case 7:  // append a whole seed (pipelined trains)
+        default: {
+          const auto& other = corpus[pick(corpus.size())];
+          v.insert(v.end(), other.begin(), other.end());
+          break;
+        }
+      }
+      if (v.size() > 4 * kMaxPayload) v.resize(4 * kMaxPayload);
+    }
+    fuzz_one(v);
+  }
+}
+
+}  // namespace
+}  // namespace abrr::frontend

@@ -9,6 +9,8 @@
 
 #include <chrono>
 #include <map>
+#include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -63,20 +65,22 @@ TEST(RouteService, SnapshotsMatchBatchRunsAtSameVirtualTime) {
       service.start();
       RouteService::Reader reader{service};
       while (!service.done()) {
-        const RibSnapshot* snap = reader.pin();
-        ASSERT_NE(snap, nullptr);
-        EXPECT_GE(snap->version, 1u);
-        const auto [it, inserted] =
-            observed.emplace(snap->virtual_time, snap->fingerprint);
-        // Two snapshots at one virtual time would have to be the same
-        // world state; conflicting fingerprints mean nondeterminism.
-        EXPECT_EQ(it->second, snap->fingerprint);
-        reader.unpin();
+        {
+          const RouteService::Reader::PinGuard snap{reader};
+          ASSERT_TRUE(snap);
+          EXPECT_GE(snap->version, 1u);
+          const auto [it, inserted] =
+              observed.emplace(snap->virtual_time, snap->fingerprint);
+          // Two snapshots at one virtual time would have to be the same
+          // world state; conflicting fingerprints mean nondeterminism.
+          EXPECT_EQ(it->second, snap->fingerprint);
+        }
         std::this_thread::yield();
       }
-      const RibSnapshot* last = reader.pin();
-      observed.emplace(last->virtual_time, last->fingerprint);
-      reader.unpin();
+      {
+        const RouteService::Reader::PinGuard last{reader};
+        observed.emplace(last->virtual_time, last->fingerprint);
+      }
       service.stop();
     }
     // The final pin guarantees at least one observation; on this slow
@@ -110,11 +114,12 @@ TEST(RouteService, StuckReaderBoundsResidentSnapshotsAndDefers) {
   runner::ScenarioSpec spec = serve_tiny(ibgp::IbgpMode::kTbrr);
   spec.serve.max_resident_snapshots = 3;
   RouteService service{spec, 11};
-  // Pin BEFORE the writer starts (live is still null, so ignore the
-  // returned pointer): on a 1-CPU host pinning after start() races the
+  // Pin BEFORE the writer starts (live is still null, so the guard
+  // holds no snapshot): on a 1-CPU host pinning after start() races the
   // writer, which can replay the whole horizon in its first quantum.
   RouteService::Reader stuck{service};
-  stuck.pin();
+  std::optional<RouteService::Reader::PinGuard> stuck_pin;
+  stuck_pin.emplace(stuck);
   service.start();
 
   while (!service.done()) std::this_thread::sleep_for(2ms);
@@ -129,14 +134,13 @@ TEST(RouteService, StuckReaderBoundsResidentSnapshotsAndDefers) {
   // The live snapshot stays fully readable for other readers.
   {
     RouteService::Reader reader{service};
-    const RibSnapshot* live = reader.pin();
-    ASSERT_NE(live, nullptr);
+    const RouteService::Reader::PinGuard live{reader};
+    ASSERT_TRUE(live);
     EXPECT_GE(live->version, 1u);
     EXPECT_GE(live->router_ids.size(), 1u);
-    reader.unpin();
   }
 
-  stuck.unpin();
+  stuck_pin.reset();
   // The parked writer reclaims once the pin is gone.
   const auto deadline = std::chrono::steady_clock::now() + 2s;
   while (service.stats().retired_pending > 0 &&
@@ -166,6 +170,64 @@ TEST(RouteService, ServeTrialReportsAndFinalStateMatchesBatch) {
                           sim::sec_f(spec.serve.churn_seconds);
   EXPECT_EQ(report.final_fingerprint,
             batch_fingerprint_at(spec, kSeed, t_end));
+}
+
+TEST(RouteService, LookupBatchAnswersUnderOneSnapshotAndMatchesSingleShot) {
+  const runner::ScenarioSpec spec = serve_tiny(ibgp::IbgpMode::kAbrr);
+  RouteService service{spec, 7};
+  service.start();
+  RouteService::Reader reader{service};
+
+  // Probe plan from the service-wide stable views.
+  std::shared_ptr<const bgp::LpmIndex> index;
+  std::vector<bgp::RouterId> routers;
+  {
+    const RouteService::Reader::PinGuard pin{reader};
+    index = pin->index;
+    routers = pin->router_ids;
+  }
+  std::vector<LookupRequest> reqs;
+  std::uint32_t probe = 0x9e3779b9u;
+  for (std::size_t i = 0; i < 64; ++i) {
+    probe = probe * 2654435761u + 12345;
+    const bgp::Ipv4Prefix& p = index->prefix_at(probe % index->size());
+    reqs.push_back(LookupRequest{routers[i % routers.size()],
+                                 p.first() | (probe & (p.last() - p.first()))});
+  }
+
+  std::vector<LookupResponse> resps(reqs.size());
+  const BatchResult res = reader.lookup_batch(reqs, resps);
+  EXPECT_GE(res.snapshot_version, 1u);
+  EXPECT_GT(res.hits, 0u);  // hit-biased probes against a converged bed
+
+  std::uint64_t hits = 0;
+  for (const LookupResponse& r : resps) {
+    // One pin, one snapshot: every response carries the batch's version.
+    EXPECT_EQ(r.snapshot_version, res.snapshot_version);
+    EXPECT_EQ(r.fingerprint, res.fingerprint);
+    hits += r.hit;
+  }
+  EXPECT_EQ(hits, res.hits);
+
+  // Telemetry cannot desync: one histogram sample per batch, counts
+  // advance by the batch size.
+  EXPECT_EQ(reader.lookups(), reqs.size());
+  EXPECT_EQ(reader.latency_hist().count(), 1u);
+
+  // After the horizon the snapshot is stable, so single-shot lookups
+  // (a batch of one) must reproduce the batch responses exactly.
+  while (!service.done()) std::this_thread::sleep_for(2ms);
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (!service.horizon_published() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_TRUE(service.horizon_published());
+  reader.lookup_batch(reqs, resps);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reader.lookup(reqs[i].router, reqs[i].addr), resps[i]);
+  }
+  service.stop();
 }
 
 TEST(RouteService, RejectsInvalidServeSpecs) {
